@@ -1,0 +1,67 @@
+"""Block-size sweep (Sec. VI context: "remote storage solutions like
+NVMe-oF using RDMA can provide very high throughput, which is comparable
+to that of local PCIe").
+
+At large block sizes with deep queues, bandwidth — not per-command
+latency — dominates, and NVMe-oF keeps up; that is exactly the regime
+the paper concedes to RDMA before pivoting to the latency argument.
+The shape to hold: both transports approach the device's bandwidth
+ceiling at 64-128 KiB, while at 512 B-4 KiB the PCIe/NTB driver keeps a
+visible IOPS edge from its lower per-command cost.
+"""
+
+from __future__ import annotations
+
+from conftest import run_experiment
+
+from repro.analysis import format_table
+from repro.scenarios import nvmeof_remote, ours_remote
+from repro.units import KiB
+from repro.workloads import FioJob, run_fio
+
+SIZES = (512, 4 * KiB, 16 * KiB, 64 * KiB, 128 * KiB)
+QD = 16
+
+
+def _sweep(builder, seed_base):
+    out = {}
+    for i, bs in enumerate(SIZES):
+        # Fewer I/Os for bigger blocks: constant ~bytes per cell.
+        ios = max(160, (24 << 20) // bs)
+        scenario = builder(seed=seed_base + i, queue_depth=QD)
+        result = run_fio(scenario.device,
+                         FioJob(rw="randread", bs=bs, iodepth=QD,
+                                total_ios=ios, ramp_ios=QD,
+                                region_lbas=1 << 21))
+        out[bs] = result.bandwidth_bytes_per_s
+    return out
+
+
+def test_blocksize_sweep(benchmark, results_writer):
+    def experiment():
+        return {"ours-remote": _sweep(ours_remote, 800),
+                "nvmeof-remote": _sweep(nvmeof_remote, 820)}
+
+    data = run_experiment(benchmark, experiment)
+
+    rows = []
+    for bs in SIZES:
+        ours = data["ours-remote"][bs]
+        of = data["nvmeof-remote"][bs]
+        rows.append([f"{bs // 1024}K" if bs >= 1024 else f"{bs}B",
+                     f"{ours / 1e9:.2f}", f"{of / 1e9:.2f}",
+                     f"{ours / of:.2f}x"])
+    art = format_table(
+        ["bs", "ours GB/s", "nvmeof GB/s", "ratio"],
+        rows, title=f"Block-size sweep (randread, QD={QD})")
+    results_writer("blocksize_sweep", art)
+
+    ours, of = data["ours-remote"], data["nvmeof-remote"]
+    # Small blocks: per-command latency matters, ours wins clearly.
+    assert ours[4 * KiB] > 1.15 * of[4 * KiB]
+    # Large blocks: both bandwidth-bound; NVMe-oF is comparable
+    # (within ~25%), the paper's concession.
+    assert of[128 * KiB] > 0.75 * ours[128 * KiB]
+    # Both approach the device read ceiling (~2.4 GB/s media).
+    assert ours[128 * KiB] > 1.5e9
+    assert of[128 * KiB] > 1.3e9

@@ -1,0 +1,55 @@
+"""Figure 10: I/O command completion latency for the four scenarios.
+
+Regenerates the paper's headline boxplots — local Linux driver,
+NVMe-oF/RDMA remote, our driver local, our driver remote — for 4 KiB
+random reads and writes at queue depth 1, and checks the qualitative
+shape (who wins, by roughly what factor).
+"""
+
+from __future__ import annotations
+
+from conftest import run_experiment
+
+from repro.analysis import Fig10Report, render_boxplots
+from repro.scenarios import FIG10_SCENARIOS, build_fig10_scenario
+from repro.sim import BoxplotStats
+from repro.workloads import FioJob, run_fio
+
+IOS = 1500
+
+
+def _collect(op: str, seed_base: int) -> dict[str, BoxplotStats]:
+    stats = {}
+    for i, name in enumerate(FIG10_SCENARIOS):
+        scenario = build_fig10_scenario(name, seed=seed_base + i)
+        rw = "randread" if op == "read" else "randwrite"
+        result = run_fio(scenario.device,
+                         FioJob(name=f"fig10-{op}", rw=rw, bs=4096,
+                                iodepth=1, total_ios=IOS, ramp_ios=50))
+        rec = (result.read_latencies if op == "read"
+               else result.write_latencies)
+        stats[name] = BoxplotStats.from_values(rec.values(), name=name)
+    return stats
+
+
+def test_fig10_latency(benchmark, results_writer):
+    def experiment():
+        reads = _collect("read", seed_base=1000)
+        writes = _collect("write", seed_base=2000)
+        return Fig10Report(reads, writes)
+
+    report = run_experiment(benchmark, experiment)
+
+    art = "\n\n".join([
+        report.to_table(),
+        "Random 4 KiB READ, QD=1 (whiskers: min..p99, as in the paper):",
+        render_boxplots([report.read_stats[n] for n in FIG10_SCENARIOS]),
+        "Random 4 KiB WRITE, QD=1:",
+        render_boxplots([report.write_stats[n] for n in FIG10_SCENARIOS]),
+        report.delta_table(),
+    ])
+    results_writer("fig10_latency", art)
+
+    assert report.shape_ok(), report.deltas_us()
+    checks = report.check_claims()
+    assert all(checks.values()), (report.deltas_us(), checks)

@@ -1,0 +1,71 @@
+"""Figure 8 ablation: SQ placement (device-side vs client-side memory).
+
+The paper's key data-path decision: "Allocating the SQ in memory closer
+to the controller reduces the distance it needs to read across to fetch
+commands.  SQ memory is mapped for the local CPU over the NTB, allowing
+it to write directly into device-side memory."
+
+Device-side SQ: the CPU's command store crosses the NTB as a cheap
+*posted* write and the controller's fetch is local.  Client-side SQ: the
+fetch becomes a *non-posted read across the NTB* — a full round trip
+through three switch chips on the critical path of every command.
+We also ablate CQ placement (the paper polls client-local CQ memory).
+"""
+
+from __future__ import annotations
+
+from conftest import run_experiment
+
+from repro.analysis import format_table
+from repro.scenarios import ours_remote
+from repro.units import ns_to_us
+from repro.workloads import FioJob, run_fio
+
+IOS = 1200
+
+PLACEMENTS = (
+    ("SQ device-side, CQ client-side (paper)", "device", "client"),
+    ("SQ client-side, CQ client-side", "client", "client"),
+    ("SQ device-side, CQ device-side", "device", "device"),
+)
+
+
+def test_fig8_sq_placement(benchmark, results_writer):
+    def experiment():
+        out = {}
+        for i, (label, sq, cq) in enumerate(PLACEMENTS):
+            for op in ("read", "write"):
+                scenario = ours_remote(seed=500 + i, sq_placement=sq,
+                                       cq_placement=cq)
+                rw = "randread" if op == "read" else "randwrite"
+                result = run_fio(scenario.device,
+                                 FioJob(rw=rw, bs=4096, iodepth=1,
+                                        total_ios=IOS, ramp_ios=50))
+                out[(label, op)] = result.summary(op)
+        return out
+
+    stats = run_experiment(benchmark, experiment)
+
+    rows = []
+    for label, _sq, _cq in PLACEMENTS:
+        for op in ("read", "write"):
+            s = stats[(label, op)]
+            rows.append([label, op, f"{ns_to_us(s.minimum):.2f}",
+                         f"{s.median / 1000:.2f}"])
+    art = format_table(["placement", "op", "min (us)", "median (us)"],
+                       rows,
+                       title="Fig. 8 ablation: queue memory placement "
+                             "(remote client, 4 KiB QD=1)")
+    results_writer("fig8_sq_placement", art)
+
+    paper_read = stats[(PLACEMENTS[0][0], "read")].median
+    sq_client_read = stats[(PLACEMENTS[1][0], "read")].median
+    cq_device_read = stats[(PLACEMENTS[2][0], "read")].median
+    # Client-side SQ adds a cross-NTB fetch round trip (~0.6-1.2 us).
+    assert sq_client_read > paper_read + 500
+    # Device-side CQ forces remote polling — a non-posted read across
+    # the NTB on every poll attempt.
+    assert cq_device_read > paper_read + 500
+    # Same orderings for writes.
+    assert stats[(PLACEMENTS[1][0], "write")].median > \
+        stats[(PLACEMENTS[0][0], "write")].median + 500

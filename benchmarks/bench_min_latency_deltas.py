@@ -1,0 +1,73 @@
+"""Section VI text claims: minimum-latency deltas.
+
+"The difference in minimum read latency is 7.7 us for NVMe-oF vs. local,
+while it is around 1 us for our implementation.  For write, the
+difference in the minimum latency is 7.5 us for NVMe-oF vs. local and
+around 2 us for our implementation."
+
+This bench isolates exactly those four numbers with a larger sample so
+the minima are stable, and verifies each against its acceptance band.
+"""
+
+from __future__ import annotations
+
+from conftest import run_experiment
+
+from repro.analysis import PAPER_CLAIMS, format_table
+from repro.scenarios import (local_linux, nvmeof_remote, ours_local,
+                             ours_remote)
+from repro.units import ns_to_us
+from repro.workloads import FioJob, run_fio
+
+IOS = 2500
+
+
+def _min_latency(builder, op: str, seed: int) -> float:
+    scenario = builder(seed=seed)
+    rw = "randread" if op == "read" else "randwrite"
+    result = run_fio(scenario.device,
+                     FioJob(rw=rw, bs=4096, iodepth=1, total_ios=IOS,
+                            ramp_ios=100))
+    return float(result.summary(op).minimum)
+
+
+def test_min_latency_deltas(benchmark, results_writer):
+    def experiment():
+        mins = {}
+        for op in ("read", "write"):
+            mins[("local", op)] = _min_latency(local_linux, op, 300)
+            mins[("nvmeof", op)] = _min_latency(nvmeof_remote, op, 301)
+            mins[("ours-local", op)] = _min_latency(ours_local, op, 302)
+            mins[("ours-remote", op)] = _min_latency(ours_remote, op, 303)
+        return mins
+
+    mins = run_experiment(benchmark, experiment)
+    deltas = {
+        "nvmeof-read-delta": ns_to_us(mins[("nvmeof", "read")]
+                                      - mins[("local", "read")]),
+        "nvmeof-write-delta": ns_to_us(mins[("nvmeof", "write")]
+                                       - mins[("local", "write")]),
+        "ours-read-delta": ns_to_us(mins[("ours-remote", "read")]
+                                    - mins[("ours-local", "read")]),
+        "ours-write-delta": ns_to_us(mins[("ours-remote", "write")]
+                                     - mins[("ours-local", "write")]),
+    }
+
+    rows = []
+    for key, value in deltas.items():
+        claim = PAPER_CLAIMS[key]
+        rows.append([claim.name, f"{claim.paper_value_us:.1f}",
+                     f"{value:.2f}",
+                     f"[{claim.lo_us:.1f}, {claim.hi_us:.1f}]",
+                     "PASS" if claim.check(value) else "FAIL"])
+    mins_rows = [[f"{scenario} {op}", f"{ns_to_us(v):.2f}"]
+                 for (scenario, op), v in sorted(mins.items())]
+    art = format_table(["claim", "paper (us)", "measured (us)",
+                        "accept band", "verdict"], rows,
+                       title="Minimum-latency deltas (Sec. VI text)")
+    art += "\n\n" + format_table(["scenario", "min latency (us)"],
+                                 mins_rows, title="Raw minima")
+    results_writer("min_latency_deltas", art)
+
+    for key, value in deltas.items():
+        assert PAPER_CLAIMS[key].check(value), (key, value)

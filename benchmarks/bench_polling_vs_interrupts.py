@@ -1,0 +1,85 @@
+"""Polling-vs-interrupts ablation (Sec. V/VI).
+
+The paper's client "can poll on local memory for CQ events" because the
+SISCI extension has no device-generated interrupts across the NTB — and
+notes the stock driver's interrupt path as one reason the comparison is
+not apples-to-apples.  This bench isolates the completion-notification
+mechanism: the same local distributed driver with its polling loop vs
+the stock driver's MSI-X + IRQ path, decomposed against a
+zero-software-overhead floor measured with an interrupt-free,
+zero-copy configuration.
+"""
+
+from __future__ import annotations
+
+from conftest import run_experiment
+
+from repro.analysis import format_table
+from repro.config import SimulationConfig, replace
+from repro.driver import SpdkLocalDriver
+from repro.scenarios import local_linux, ours_local
+from repro.scenarios.testbed import LocalTestbed
+from repro.workloads import FioJob, run_fio
+
+IOS = 1500
+
+
+def test_polling_vs_interrupts(benchmark, results_writer):
+    def experiment():
+        out = {}
+        # Stock: interrupt-driven kernel driver.
+        s = local_linux(seed=950)
+        out["stock (interrupts)"] = run_fio(
+            s.device, FioJob(rw="randread", total_ios=IOS,
+                             ramp_ios=50)).summary("read")
+        # Ours local: polling, but naive path + bounce copy.
+        s = ours_local(seed=951)
+        out["ours (polling+bounce)"] = run_fio(
+            s.device, FioJob(rw="randread", total_ios=IOS,
+                             ramp_ios=50)).summary("read")
+        # SPDK-style userspace polling driver: the real polling floor
+        # (no interrupts, no bounce, minimal per-command software).
+        bed = LocalTestbed(seed=952)
+        spdk = SpdkLocalDriver(bed.sim, bed.fabric, bed.host,
+                               bed.nvme.bars[0].base, bed.config)
+        bed.sim.run(until=bed.sim.process(spdk.start()))
+        out["spdk (polling floor)"] = run_fio(
+            spdk, FioJob(rw="randread", total_ios=IOS,
+                         ramp_ios=50)).summary("read")
+        # Ours local with the naive software overheads zeroed: what a
+        # *tuned* distributed polling driver could reach.
+        config = SimulationConfig()
+        config = replace(config, host=replace(
+            config.host, dist_submit_ns=config.host.nvme_submit_ns,
+            dist_complete_ns=200, iommu_map_ns=0, iommu_unmap_ns=0))
+        s = ours_local(config=config, seed=953, data_path="iommu")
+        out["ours (tuned polling floor)"] = run_fio(
+            s.device, FioJob(rw="randread", total_ios=IOS,
+                             ramp_ios=50)).summary("read")
+        return out
+
+    stats = run_experiment(benchmark, experiment)
+
+    rows = [[name, f"{s.minimum / 1e3:.2f}", f"{s.median / 1e3:.2f}",
+             f"{s.p99 / 1e3:.2f}"]
+            for name, s in stats.items()]
+    art = format_table(["configuration", "min (us)", "median (us)",
+                        "p99 (us)"], rows,
+                       title="Completion path: interrupts vs polling "
+                             "(local 4 KiB randread, QD=1)")
+    art += ("\n\nThe naive driver's higher baseline (paper Sec. VI) is "
+            "software path + bounce copy, not the polling choice: with "
+            "those overheads removed, polling beats the interrupt-driven "
+            "stock driver by roughly the IRQ latency.")
+    results_writer("polling_vs_interrupts", art)
+
+    stock = stats["stock (interrupts)"].median
+    naive = stats["ours (polling+bounce)"].median
+    spdk = stats["spdk (polling floor)"].median
+    tuned = stats["ours (tuned polling floor)"].median
+    # The paper's observation: the naive driver has a higher baseline.
+    assert naive > stock
+    # But polling itself is the faster mechanism once tuned: both
+    # polling floors beat the stock driver by most of the IRQ cost.
+    assert spdk < stock - 800
+    assert tuned < stock - 800

@@ -1,0 +1,67 @@
+"""Section VI: "each PCIe switch chip in the path adds between 100 and
+150 nanoseconds delay (in one direction) for each PCIe transaction."
+
+Sweeps the number of extra switch chips between the client's adapter
+and the cluster switch and fits the per-chip latency cost from measured
+minimum read latency.  Expectation: each added chip costs ~2x 100-150 ns
+on the QD1 read path (the data/doorbell legs are posted one-way, the
+completion path adds the rest).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_experiment
+
+from repro.analysis import format_table
+from repro.config import SimulationConfig
+from repro.driver import DistributedNvmeClient, NvmeManager
+from repro.scenarios.testbed import PcieTestbed
+from repro.units import ns_to_us
+from repro.workloads import FioJob, run_fio
+
+CHIP_COUNTS = (0, 1, 2, 3, 4)
+IOS = 1000
+
+
+def _run_with_chips(extra: int, seed: int):
+    bed = PcieTestbed(n_hosts=2, with_nvme=True,
+                      extra_path_chips=extra, seed=seed)
+    manager = NvmeManager(bed.sim, bed.smartio, bed.node(0),
+                          bed.nvme_device_id, bed.config)
+    bed.sim.run(until=bed.sim.process(manager.start()))
+    client = DistributedNvmeClient(bed.sim, bed.smartio, bed.node(1),
+                                   bed.nvme_device_id, bed.config)
+    bed.sim.run(until=bed.sim.process(client.start()))
+    result = run_fio(client, FioJob(rw="randread", bs=4096, iodepth=1,
+                                    total_ios=IOS, ramp_ios=50))
+    return result.summary("read")
+
+
+def test_switch_hop_sweep(benchmark, results_writer):
+    def experiment():
+        return {extra: _run_with_chips(extra, seed=600 + extra)
+                for extra in CHIP_COUNTS}
+
+    stats = run_experiment(benchmark, experiment)
+
+    mins = np.array([stats[c].minimum for c in CHIP_COUNTS], dtype=float)
+    meds = np.array([float(stats[c].median) for c in CHIP_COUNTS])
+    # Least-squares slope: ns of added median latency per extra chip.
+    slope = float(np.polyfit(np.array(CHIP_COUNTS, dtype=float),
+                             meds, 1)[0])
+
+    rows = [[c, f"{ns_to_us(stats[c].minimum):.2f}",
+             f"{stats[c].median / 1000:.2f}"] for c in CHIP_COUNTS]
+    art = format_table(
+        ["extra chips", "min (us)", "median (us)"], rows,
+        title="Switch-chip sweep (remote client, 4 KiB randread QD=1)")
+    art += (f"\n\nfitted cost per extra chip: {slope:.0f} ns "
+            f"(expected ~2x the paper's 100-150 ns/chip/direction: "
+            f"posted submission leg + posted completion leg)")
+    results_writer("switch_hop_sweep", art)
+
+    # Monotonically increasing medians.
+    assert all(meds[i] < meds[i + 1] for i in range(len(meds) - 1))
+    # Per-chip QD1 read cost: two one-way posted legs -> ~200-300 ns/chip.
+    assert 150 <= slope <= 400, slope

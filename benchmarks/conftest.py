@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table/figure of the paper's evaluation
+(see DESIGN.md's experiment index).  Results are printed (visible with
+``pytest -s``) *and* written to ``benchmarks/results/<name>.txt`` so a
+run leaves a reviewable artifact trail.  pytest-benchmark wraps each
+experiment, so ``--benchmark-only`` runs exactly this suite and reports
+the wall-clock cost of regenerating each figure.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def results_writer(request):
+    """Write (and echo) the regenerated table/figure for one benchmark."""
+
+    def write(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        # echo for -s runs
+        print(f"\n===== {name} =====\n{text}\n")
+
+    return write
+
+
+def run_experiment(benchmark, fn):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""A toy cluster application on the shared block device.
+
+The paper motivates the block-device interface with shared-disk
+filesystems (GFS/OCFS).  This example builds the smallest useful
+stand-in: a fixed-slot key-value store laid out on the shared NVMe,
+accessed concurrently by several hosts, with a block-granular
+lease/version scheme for consistency (each record carries a version and
+a checksum; readers retry on torn reads).
+
+It demonstrates the property that makes shared-disk software possible
+here: every host sees a single coherent block device, because all I/O
+queues feed the same controller and medium.
+
+Run:  python examples/cluster_kv_store.py
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro import BlockRequest
+from repro.scenarios import multihost
+
+RECORD_BLOCKS = 8          # 4 KiB records
+HEADER = struct.Struct("<IIQI")   # magic, version, key-hash, crc
+MAGIC = 0x4B565354         # "KVST"
+TABLE_LBA = 4_000_000
+SLOTS = 64
+
+
+def slot_lba(key: str) -> int:
+    index = zlib.crc32(key.encode()) % SLOTS
+    return TABLE_LBA + index * RECORD_BLOCKS
+
+
+def encode(key: str, value: bytes, version: int) -> bytes:
+    body = key.encode().ljust(64, b"\x00") + value
+    body = body.ljust(4096 - HEADER.size, b"\x00")
+    crc = zlib.crc32(body)
+    return HEADER.pack(MAGIC, version, zlib.crc32(key.encode()), crc) + body
+
+
+def decode(block: bytes) -> tuple[str, bytes, int] | None:
+    magic, version, _khash, crc = HEADER.unpack_from(block)
+    if magic != MAGIC:
+        return None
+    body = block[HEADER.size:]
+    if zlib.crc32(body) != crc:
+        return None                      # torn read: caller retries
+    key = body[:64].rstrip(b"\x00").decode()
+    value = body[64:].rstrip(b"\x00")
+    return key, value, version
+
+
+class KvClient:
+    """Per-host KV access through that host's block device."""
+
+    def __init__(self, device):
+        self.device = device
+
+    def put(self, key: str, value: bytes, version: int):
+        block = encode(key, value, version)
+        req = yield self.device.submit(
+            BlockRequest("write", lba=slot_lba(key), data=block))
+        assert req.ok
+        yield self.device.submit(BlockRequest("flush"))
+
+    def get(self, key: str):
+        for _attempt in range(5):
+            req = yield self.device.submit(
+                BlockRequest("read", lba=slot_lba(key),
+                             nblocks=RECORD_BLOCKS))
+            assert req.ok
+            decoded = decode(req.result)
+            if decoded is not None:
+                return decoded
+        raise RuntimeError(f"persistent torn read for {key!r}")
+
+
+def main() -> None:
+    print("Building a 4-host cluster sharing one NVMe...")
+    scenario = multihost(4, seed=77, queue_depth=8)
+    sim = scenario.sim
+    kv = [KvClient(c) for c in scenario.clients]
+
+    def workload(sim):
+        # Host 0 publishes configuration records.
+        yield from kv[0].put("cluster/name", b"repro-demo", version=1)
+        yield from kv[0].put("cluster/leader", b"host1", version=1)
+        # Hosts 1..3 read them back through their own queue pairs.
+        for i, client in enumerate(kv[1:], start=2):
+            key, value, version = yield from client.get("cluster/name")
+            print(f"  host{i} read {key!r} = {value!r} (v{version})")
+        # Host 2 updates the leader record; host 1 observes the change.
+        yield from kv[1].put("cluster/leader", b"host2", version=2)
+        key, value, version = yield from kv[0].get("cluster/leader")
+        print(f"  host1 sees leader update: {value!r} (v{version})")
+        assert value == b"host2" and version == 2
+        # Different keys from different hosts, all at once.
+        procs = []
+        for i, client in enumerate(kv):
+            def put_many(sim, client=client, i=i):
+                for k in range(6):
+                    yield from client.put(f"host{i}/metric{k}",
+                                          f"value-{i}-{k}".encode(),
+                                          version=1)
+            procs.append(sim.process(put_many(sim)))
+        yield sim.all_of(procs)
+        # Cross-verify from a single host.
+        ok = 0
+        for i in range(len(kv)):
+            for k in range(6):
+                key, value, _v = yield from kv[0].get(f"host{i}/metric{k}")
+                assert value == f"value-{i}-{k}".encode()
+                ok += 1
+        return ok
+
+    ok = sim.run(until=sim.process(workload(sim)))
+    print(f"  {ok} records written by 4 hosts, all readable everywhere.")
+    print("\nThe shared block device behaves like one coherent disk — "
+          "the substrate a\nshared-disk filesystem (GFS/OCFS, paper "
+          "Sec. V) would mount.")
+
+
+if __name__ == "__main__":
+    main()

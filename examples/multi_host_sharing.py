@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Multi-host sharing: many hosts operating ONE single-function NVMe.
+
+The paper's point: the P4800X has 32 queue pairs (one reserved for the
+admin queues), so up to 31 hosts can each hold a private I/O queue pair
+and drive the same controller in parallel — "software-enabled MR-IOV".
+
+This example:
+1. builds an 9-host cluster (1 device host + 8 clients);
+2. gives each client its own queue pair via the manager RPC;
+3. runs simultaneous random-read jobs and shows aggregate scaling;
+4. demonstrates shared-disk semantics: each host writes a signed block,
+   then every host reads and checks every other host's block.
+
+Run:  python examples/multi_host_sharing.py
+"""
+
+from repro import BlockRequest, FioJob, run_fio_many
+from repro.scenarios import multihost
+
+N_CLIENTS = 8
+
+
+def main() -> None:
+    print(f"Building a cluster with {N_CLIENTS} client hosts sharing "
+          f"one NVMe...")
+    scenario = multihost(N_CLIENTS, seed=42, queue_depth=8)
+    sim = scenario.sim
+    nvme = scenario.testbed.nvme
+    print(f"  controller: {nvme.name}, "
+          f"{nvme.config.max_queue_pairs} queue pairs "
+          f"({nvme.config.max_queue_pairs - 1} usable by clients)")
+    for client in scenario.clients:
+        print(f"  {client.node.host.name}: qid={client.qid}")
+
+    # --- parallel throughput -------------------------------------------------
+    print("\nSimultaneous randread (4 KiB, QD=8) on every host...")
+    jobs = [(client, FioJob(name=f"host{i}", rw="randread", bs=4096,
+                            iodepth=8, total_ios=400,
+                            region_lbas=1 << 20))
+            for i, client in enumerate(scenario.clients)]
+    results = run_fio_many(jobs)
+    total = 0.0
+    for result in results:
+        stats = result.summary("read")
+        print(f"  {result.device_name}: {result.iops / 1e3:7.1f} kIOPS, "
+              f"median {stats.median / 1e3:.2f} us")
+        total += result.iops
+    print(f"  aggregate: {total / 1e3:.1f} kIOPS "
+          f"(media ceiling ~650-700 kIOPS)")
+
+    # --- shared-disk visibility --------------------------------------------------
+    print("\nCross-host visibility: each host signs a block, "
+          "all hosts verify all blocks...")
+
+    def sign_and_verify(sim):
+        # each client writes a signature block at its own LBA
+        for i, client in enumerate(scenario.clients):
+            payload = (f"signed-by-host{i + 1}".encode()
+                       .ljust(4096, b"\x00"))
+            req = yield client.submit(BlockRequest("write",
+                                                   lba=2_000_000 + i * 8,
+                                                   data=payload))
+            assert req.ok
+        # every client reads every signature
+        checks = 0
+        for client in scenario.clients:
+            for i in range(len(scenario.clients)):
+                req = yield client.submit(
+                    BlockRequest("read", lba=2_000_000 + i * 8,
+                                 nblocks=8))
+                assert req.ok
+                expected = f"signed-by-host{i + 1}".encode()
+                assert req.result.startswith(expected), (
+                    f"{client.name} read a corrupt block {i}")
+                checks += 1
+        return checks
+
+    checks = sim.run(until=sim.process(sign_and_verify(sim)))
+    print(f"  {checks} cross-host reads verified — every host sees every "
+          f"other host's data.")
+    print("\nOne single-function NVMe controller, operated in parallel "
+          "by all hosts,\nwith no RDMA and no software forwarding in the "
+          "data path.")
+
+
+if __name__ == "__main__":
+    main()

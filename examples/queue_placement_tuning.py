@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Queue-placement tuning with SmartIO access-pattern hints (Fig. 8).
+
+The SISCI extension lets a driver *hint* how a segment will be accessed
+instead of naming a host; SmartIO then places it to avoid non-posted
+reads over the NTB:
+
+  SQ  (CPU writes, device reads)  -> device-side memory
+  CQ  (device writes, CPU reads)  -> client-local memory
+
+This example shows the hint mechanics, then measures what happens when
+each placement is deliberately flipped.
+
+Run:  python examples/queue_placement_tuning.py
+"""
+
+from repro import FioJob, run_fio
+from repro.scenarios import ours_remote
+from repro.smartio import (AccessHints, BUFFER_HINTS, CQ_HINTS, Placement,
+                           SQ_HINTS)
+
+
+def show_hint(name: str, hints: AccessHints) -> None:
+    print(f"  {name:12s} device_reads={hints.device_reads!s:5s} "
+          f"device_writes={hints.device_writes!s:5s} "
+          f"-> {hints.placement().value}-side")
+
+
+def measure(label: str, **kwargs) -> None:
+    scenario = ours_remote(seed=123, **kwargs)
+    client = scenario.device
+    result = run_fio(client, FioJob(rw="randread", bs=4096, iodepth=1,
+                                    total_ios=700, ramp_ios=50))
+    stats = result.summary("read")
+    print(f"  {label:42s} SQ@{client._sq_seg.host.name}  "
+          f"CQ@{client._cq_seg.host.name}  "
+          f"median={stats.median / 1e3:6.2f} us")
+
+
+def main() -> None:
+    print("Access-pattern hints and where SmartIO places the segment:")
+    show_hint("SQ_HINTS", SQ_HINTS)
+    show_hint("CQ_HINTS", CQ_HINTS)
+    show_hint("BUFFER_HINTS", BUFFER_HINTS)
+
+    print("\nRemote-client 4 KiB randread QD=1 under each placement:")
+    measure("paper default (SQ device, CQ client)")
+    measure("SQ flipped to client side", sq_placement="client")
+    measure("CQ flipped to device side", cq_placement="device")
+
+    print("\nWhy: non-posted reads pay a round trip per switch chip. "
+          "Flipping the SQ\nmakes the controller fetch every command "
+          "across the NTB; flipping the CQ\nmakes the CPU poll across "
+          "it — both put round trips on the critical path.")
+
+
+if __name__ == "__main__":
+    main()

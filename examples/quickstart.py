@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: share a remote NVMe device over a simulated PCIe cluster.
+
+Builds the paper's Fig. 9b setup — two hosts joined by Dolphin-style NTB
+adapters and a cluster switch, an Optane-class NVMe in host0 — starts
+the distributed driver (manager in host0, client in host1), and runs a
+4 KiB random-read fio job at queue depth 1.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FioJob, run_fio
+from repro.scenarios import ours_remote
+from repro.units import ns_to_us
+
+
+def main() -> None:
+    print("Building the PCIe cluster (2 hosts, NTB switch, 1x NVMe)...")
+    scenario = ours_remote(seed=7)
+    client = scenario.device
+    print(f"  client host : {client.node.host.name}")
+    print(f"  device host : "
+          f"{scenario.testbed.smartio.device_host_name(client.device_id)}")
+    print(f"  I/O queue   : qid={client.qid} "
+          f"(SQ in {client._sq_seg.host.name} memory, "
+          f"CQ in {client._cq_seg.host.name} memory)")
+
+    print("\nRunning fio: randread, bs=4k, iodepth=1, 2000 I/Os ...")
+    result = run_fio(client, FioJob(rw="randread", bs=4096, iodepth=1,
+                                    total_ios=2000, ramp_ios=100))
+
+    stats = result.summary("read")
+    print(f"\ncompleted {result.ios} I/Os in "
+          f"{result.elapsed_ns / 1e6:.2f} ms "
+          f"({result.iops / 1000:.1f} kIOPS)")
+    print(f"latency: min={ns_to_us(stats.minimum):.2f}us  "
+          f"median={stats.median / 1000:.2f}us  "
+          f"p99={stats.p99 / 1000:.2f}us")
+    print("\nA remote NVMe at local-like latency: the only network cost "
+          "is ~1us of\nPCIe switch-chip traversals — no RDMA software "
+          "stack in the path.")
+
+
+if __name__ == "__main__":
+    main()

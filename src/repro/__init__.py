@@ -1,0 +1,44 @@
+"""repro — simulation-based reproduction of *Multi-Host Sharing of a
+Single-Function NVMe Device in a PCIe Cluster* (Markussen et al., SC 2024).
+
+Quick start::
+
+    from repro import scenarios, workloads
+
+    scenario = scenarios.ours_remote(seed=1)
+    result = workloads.run_fio(scenario.device,
+                               workloads.FioJob(rw="randread", bs=4096,
+                                                iodepth=1, total_ios=2000))
+    print(result.summary("read"))
+
+Layers (bottom-up): :mod:`repro.sim` (event kernel), :mod:`repro.pcie`
+(fabric + NTBs), :mod:`repro.nvme` (controller model), :mod:`repro.sisci`
+/ :mod:`repro.smartio` (shared-memory APIs), :mod:`repro.driver` (the
+paper's manager/client driver + stock baseline), :mod:`repro.rdma` /
+:mod:`repro.nvmeof` (the comparison stack), :mod:`repro.workloads`,
+:mod:`repro.scenarios` and :mod:`repro.analysis`.
+"""
+
+from . import (analysis, config, driver, memory, nvme, nvmeof, pcie, rdma,
+               scenarios, sim, sisci, smartio, units, workloads)
+from .config import DEFAULT_CONFIG, SimulationConfig
+from .driver import (BlockRequest, DistributedNvmeClient, NvmeManager,
+                     StockNvmeDriver)
+from .scenarios import (build_fig10_scenario, local_linux, multihost,
+                        nvmeof_remote, ours_local, ours_remote)
+from .sim import Simulator
+from .workloads import FioJob, FioResult, run_fio, run_fio_many
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator", "SimulationConfig", "DEFAULT_CONFIG",
+    "FioJob", "FioResult", "run_fio", "run_fio_many",
+    "BlockRequest", "StockNvmeDriver", "NvmeManager",
+    "DistributedNvmeClient",
+    "build_fig10_scenario", "local_linux", "nvmeof_remote",
+    "ours_local", "ours_remote", "multihost",
+    "sim", "pcie", "nvme", "memory", "sisci", "smartio", "driver",
+    "rdma", "nvmeof", "workloads", "scenarios", "analysis", "config",
+    "units",
+]

@@ -1,0 +1,9 @@
+"""Result analysis: boxplot rendering and comparison tables."""
+
+from .boxplot import render_boxplots
+from .report import (Fig10Report, PAPER_CLAIMS, PaperClaim, format_table)
+from .timeline import TimelineEvent, events_from_trace, render_timeline
+
+__all__ = ["render_boxplots", "Fig10Report", "PaperClaim",
+           "PAPER_CLAIMS", "format_table",
+           "TimelineEvent", "events_from_trace", "render_timeline"]

@@ -1,0 +1,70 @@
+"""ASCII rendering of latency boxplots (the shape of the paper's Fig. 10).
+
+Whiskers span *minimum to the 99th percentile*, matching the paper's
+convention; the box spans Q1..Q3 with the median marked.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..sim import BoxplotStats
+
+
+def render_boxplots(stats: t.Sequence[BoxplotStats], width: int = 72,
+                    unit: str = "us") -> str:
+    """Render a set of boxplots on a shared horizontal microsecond axis."""
+    if not stats:
+        raise ValueError("no stats to render")
+    divisor = 1000.0 if unit == "us" else 1.0
+    lo = min(s.minimum for s in stats) / divisor
+    hi = max(s.p99 for s in stats) / divisor
+    span = max(hi - lo, 1e-9)
+    # pad 5% each side
+    lo -= span * 0.05
+    hi += span * 0.05
+    span = hi - lo
+
+    label_width = max(len(s.name) for s in stats) + 2
+    plot_width = max(20, width - label_width)
+
+    def col(value_ns: float) -> int:
+        v = value_ns / divisor
+        c = int((v - lo) / span * (plot_width - 1))
+        return min(max(c, 0), plot_width - 1)
+
+    lines = []
+    for s in stats:
+        row = [" "] * plot_width
+        c_min, c_q1 = col(s.minimum), col(s.q1)
+        c_med, c_q3, c_p99 = col(s.median), col(s.q3), col(s.p99)
+        for c in range(c_min, c_q1):
+            row[c] = "-"
+        for c in range(c_q1, c_q3 + 1):
+            row[c] = "="
+        for c in range(c_q3 + 1, c_p99 + 1):
+            row[c] = "-"
+        row[c_min] = "|"
+        row[c_p99] = "|"
+        row[c_med] = "#"
+        lines.append(f"{s.name:>{label_width - 2}}  {''.join(row)}")
+
+    # axis
+    axis = [" "] * plot_width
+    ticks = 5
+    tick_labels = []
+    for i in range(ticks):
+        c = int(i * (plot_width - 1) / (ticks - 1))
+        axis[c] = "+"
+        tick_labels.append((c, f"{lo + span * i / (ticks - 1):.1f}"))
+    label_row = [" "] * (plot_width + 8)
+    for c, text in tick_labels:
+        for j, ch in enumerate(text):
+            if c + j < len(label_row):
+                label_row[c + j] = ch
+    lines.append(f"{'':>{label_width - 2}}  {''.join(axis)}")
+    lines.append(f"{'':>{label_width - 2}}  {''.join(label_row).rstrip()}"
+                 f" ({unit})")
+    lines.append(f"{'':>{label_width - 2}}  legend: |min  ==Q1..Q3  "
+                 f"#median  p99|")
+    return "\n".join(lines)

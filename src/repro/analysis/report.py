@@ -1,0 +1,132 @@
+"""Tabular reporting helpers for benchmark output.
+
+``format_table`` prints aligned columns; ``Fig10Report`` assembles the
+paper's headline comparison (four scenarios x read/write with min-latency
+deltas) and checks it against the paper's published numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from ..sim import BoxplotStats
+from ..units import ns_to_us
+
+
+def format_table(headers: t.Sequence[str],
+                 rows: t.Sequence[t.Sequence[t.Any]],
+                 title: str = "") -> str:
+    """Render rows as an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + \
+            [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    out = []
+    if title:
+        out.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    out.append(sep)
+    for row in cells[1:]:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+@dataclasses.dataclass(frozen=True)
+class PaperClaim:
+    """A numeric claim from the paper with an acceptance band."""
+
+    name: str
+    paper_value_us: float
+    lo_us: float
+    hi_us: float
+
+    def check(self, measured_us: float) -> bool:
+        return self.lo_us <= measured_us <= self.hi_us
+
+
+#: Section VI text: minimum-latency deltas for 4 KiB QD1.
+PAPER_CLAIMS = {
+    "nvmeof-read-delta": PaperClaim("NVMe-oF vs local, read", 7.7,
+                                    6.0, 9.5),
+    "nvmeof-write-delta": PaperClaim("NVMe-oF vs local, write", 7.5,
+                                     6.0, 9.5),
+    "ours-read-delta": PaperClaim("ours remote vs local, read", 1.0,
+                                  0.6, 1.7),
+    "ours-write-delta": PaperClaim("ours remote vs local, write", 2.0,
+                                   1.4, 2.7),
+}
+
+
+@dataclasses.dataclass
+class Fig10Report:
+    """The four-scenario latency comparison of Fig. 10."""
+
+    read_stats: dict[str, BoxplotStats]
+    write_stats: dict[str, BoxplotStats]
+
+    def deltas_us(self) -> dict[str, float]:
+        """Min-latency deltas the paper quotes in its text."""
+        r, w = self.read_stats, self.write_stats
+        return {
+            "nvmeof-read-delta": ns_to_us(r["nvmeof-remote"].minimum
+                                          - r["local-linux"].minimum),
+            "nvmeof-write-delta": ns_to_us(w["nvmeof-remote"].minimum
+                                           - w["local-linux"].minimum),
+            "ours-read-delta": ns_to_us(r["ours-remote"].minimum
+                                        - r["ours-local"].minimum),
+            "ours-write-delta": ns_to_us(w["ours-remote"].minimum
+                                         - w["ours-local"].minimum),
+        }
+
+    def check_claims(self) -> dict[str, bool]:
+        deltas = self.deltas_us()
+        return {key: PAPER_CLAIMS[key].check(value)
+                for key, value in deltas.items()}
+
+    def shape_ok(self) -> bool:
+        """The orderings the paper's argument rests on."""
+        deltas = self.deltas_us()
+        r, w = self.read_stats, self.write_stats
+        return (
+            # network cost: NVMe-oF delta dwarfs the NTB delta
+            deltas["nvmeof-read-delta"] > 3 * deltas["ours-read-delta"]
+            and deltas["nvmeof-write-delta"] > 2 * deltas["ours-write-delta"]
+            # the naive driver has a higher local baseline than stock
+            and r["ours-local"].minimum > r["local-linux"].minimum
+            and w["ours-local"].minimum > w["local-linux"].minimum
+            # remote NVMe-oF is the slowest configuration
+            and r["nvmeof-remote"].minimum > r["ours-remote"].minimum
+            and w["nvmeof-remote"].minimum > w["ours-remote"].minimum
+        )
+
+    def to_table(self) -> str:
+        rows = []
+        for name in ("local-linux", "nvmeof-remote", "ours-local",
+                     "ours-remote"):
+            for op, stats in (("read", self.read_stats),
+                              ("write", self.write_stats)):
+                s = stats[name]
+                u = s.as_us()
+                rows.append([name, op, s.count,
+                             f"{u['min']:.2f}", f"{u['q1']:.2f}",
+                             f"{u['median']:.2f}", f"{u['q3']:.2f}",
+                             f"{u['p99']:.2f}", f"{u['max']:.2f}"])
+        return format_table(
+            ["scenario", "op", "n", "min", "q1", "median", "q3", "p99",
+             "max"],
+            rows, title="Fig. 10: I/O command completion latency (us)")
+
+    def delta_table(self) -> str:
+        deltas = self.deltas_us()
+        checks = self.check_claims()
+        rows = []
+        for key, value in deltas.items():
+            claim = PAPER_CLAIMS[key]
+            rows.append([claim.name, f"{claim.paper_value_us:.1f}",
+                         f"{value:.2f}",
+                         "PASS" if checks[key] else "FAIL"])
+        return format_table(
+            ["minimum-latency delta", "paper (us)", "measured (us)",
+             "band"],
+            rows, title="Sec. VI text: minimum-latency deltas")

@@ -1,0 +1,73 @@
+"""Per-I/O timeline rendering from trace records.
+
+Turns a :class:`~repro.sim.trace.Tracer` capture into a readable swim-
+lane timeline — the tool behind ``docs/io_walkthrough.md`` and the
+``traced_io`` example.  Purely presentational; no simulation state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from ..sim.trace import TraceRecord
+from ..units import fmt_ns
+
+
+@dataclasses.dataclass(frozen=True)
+class TimelineEvent:
+    time_ns: int
+    lane: str
+    label: str
+
+
+def events_from_trace(records: t.Sequence[TraceRecord],
+                      qid: int | None = None) -> list[TimelineEvent]:
+    """Project NVMe/PCIe trace records onto timeline events."""
+    lanes = {
+        "doorbell": ("controller", "doorbell value={value}"),
+        "fetched": ("controller", "SQE fetched (op={opcode:#x} "
+                                  "cid={cid})"),
+        "completed": ("controller", "CQE posted (cid={cid} "
+                                    "status={status:#x})"),
+        "enabled": ("controller", "controller ready"),
+        "write-delivered": ("fabric", "write delivered ({size}B, "
+                                      "{crossings} NTB crossings)"),
+        "read-complete": ("fabric", "read complete ({size}B)"),
+    }
+    out: list[TimelineEvent] = []
+    for record in records:
+        mapping = lanes.get(record.message)
+        if mapping is None:
+            continue
+        if qid is not None and record.payload.get("qid") not in (None,
+                                                                 qid):
+            continue
+        lane, template = mapping
+        try:
+            label = template.format(**record.payload)
+        except (KeyError, IndexError):
+            label = record.message
+        out.append(TimelineEvent(record.time_ns, lane, label))
+    out.sort(key=lambda e: e.time_ns)
+    return out
+
+
+def render_timeline(events: t.Sequence[TimelineEvent],
+                    origin_ns: int | None = None,
+                    max_events: int = 60) -> str:
+    """Render events as an aligned, time-relative listing."""
+    if not events:
+        return "(no events)"
+    origin = origin_ns if origin_ns is not None else events[0].time_ns
+    lanes = sorted({e.lane for e in events})
+    lane_width = max(len(lane) for lane in lanes) + 2
+    lines = [f"t=0 at {fmt_ns(origin)} absolute"]
+    shown = list(events)[:max_events]
+    for event in shown:
+        rel = event.time_ns - origin
+        lines.append(f"  +{rel / 1000.0:9.3f}us  "
+                     f"{event.lane:<{lane_width}} {event.label}")
+    if len(events) > max_events:
+        lines.append(f"  ... {len(events) - max_events} more events")
+    return "\n".join(lines)

@@ -1,0 +1,155 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro list
+    python -m repro run --scenario ours-remote --rw randread --bs 4k \
+        --iodepth 1 --ios 2000
+    python -m repro fig10 --ios 800
+    python -m repro multihost --clients 8 --iodepth 4 --ios 300
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as t
+
+from .analysis import Fig10Report, format_table, render_boxplots
+from .scenarios import (FIG10_SCENARIOS, build_fig10_scenario, multihost)
+from .sim import BoxplotStats
+from .units import parse_size
+from .workloads import FioJob, run_fio, run_fio_many
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = [
+        ["local-linux", "stock Linux driver, local NVMe (Fig. 9a)"],
+        ["nvmeof-remote", "kernel initiator -> RDMA -> SPDK target"],
+        ["ours-local", "distributed driver, client in the device host"],
+        ["ours-remote", "distributed driver, client across the NTB"],
+    ]
+    print(format_table(["scenario", "description"], rows,
+                       title="Available scenarios"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = build_fig10_scenario(args.scenario, seed=args.seed)
+    job = FioJob(name="cli", rw=args.rw, bs=parse_size(args.bs),
+                 iodepth=args.iodepth, total_ios=args.ios,
+                 ramp_ios=min(args.ios // 10, 100))
+    print(f"running {args.rw} bs={args.bs} iodepth={args.iodepth} "
+          f"ios={args.ios} on {args.scenario} ...")
+    result = run_fio(scenario.device, job)
+    print(f"  {result.ios} I/Os, {result.iops / 1e3:.1f} kIOPS, "
+          f"{result.bandwidth_bytes_per_s / 1e9:.2f} GB/s, "
+          f"{result.errors} errors")
+    for op, rec in (("read", result.read_latencies),
+                    ("write", result.write_latencies)):
+        if len(rec):
+            print(f"  {rec.summary()}")
+    return 0
+
+
+def _cmd_fig10(args: argparse.Namespace) -> int:
+    reads: dict[str, BoxplotStats] = {}
+    writes: dict[str, BoxplotStats] = {}
+    for i, name in enumerate(FIG10_SCENARIOS):
+        for op, store in (("randread", reads), ("randwrite", writes)):
+            print(f"  {name} {op} ...", file=sys.stderr)
+            scenario = build_fig10_scenario(name, seed=args.seed + i)
+            result = run_fio(scenario.device,
+                             FioJob(rw=op, bs=4096, iodepth=1,
+                                    total_ios=args.ios,
+                                    ramp_ios=min(args.ios // 10, 100)))
+            rec = (result.read_latencies if op == "randread"
+                   else result.write_latencies)
+            store[name] = BoxplotStats.from_values(rec.values(),
+                                                   name=name)
+    report = Fig10Report(reads, writes)
+    print(report.to_table())
+    print("\nREAD:")
+    print(render_boxplots([reads[n] for n in FIG10_SCENARIOS]))
+    print("\nWRITE:")
+    print(render_boxplots([writes[n] for n in FIG10_SCENARIOS]))
+    print()
+    print(report.delta_table())
+    ok = report.shape_ok()
+    print(f"\nshape matches the paper: {ok}")
+    return 0 if ok else 1
+
+
+def _cmd_multihost(args: argparse.Namespace) -> int:
+    scenario = multihost(args.clients, seed=args.seed,
+                         queue_depth=args.iodepth)
+    jobs = [(client, FioJob(name=f"h{i}", rw=args.rw,
+                            bs=parse_size(args.bs),
+                            iodepth=args.iodepth, total_ios=args.ios,
+                            region_lbas=1 << 20))
+            for i, client in enumerate(scenario.clients)]
+    results = run_fio_many(jobs)
+    rows = []
+    total = 0.0
+    for result in results:
+        op = "read" if "read" in args.rw else "write"
+        stats = result.summary(op)
+        rows.append([result.device_name, f"{result.iops / 1e3:.1f}",
+                     f"{stats.median / 1e3:.2f}"])
+        total += result.iops
+    rows.append(["TOTAL", f"{total / 1e3:.1f}", ""])
+    print(format_table(["host", "kIOPS", "median lat (us)"], rows,
+                       title=f"{args.clients} clients sharing one NVMe"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Multi-Host Sharing of a "
+                    "Single-Function NVMe Device in a PCIe Cluster' "
+                    "(SC 2024)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available scenarios") \
+       .set_defaults(func=_cmd_list)
+
+    run = sub.add_parser("run", help="run one fio job on a scenario")
+    run.add_argument("--scenario", choices=FIG10_SCENARIOS,
+                     default="ours-remote")
+    run.add_argument("--rw", default="randread",
+                     choices=["randread", "randwrite", "randrw", "read",
+                              "write"])
+    run.add_argument("--bs", default="4k")
+    run.add_argument("--iodepth", type=int, default=1)
+    run.add_argument("--ios", type=int, default=1000)
+    run.add_argument("--seed", type=int, default=42)
+    run.set_defaults(func=_cmd_run)
+
+    fig10 = sub.add_parser("fig10",
+                           help="regenerate the Fig. 10 comparison")
+    fig10.add_argument("--ios", type=int, default=800)
+    fig10.add_argument("--seed", type=int, default=42)
+    fig10.set_defaults(func=_cmd_fig10)
+
+    mh = sub.add_parser("multihost",
+                        help="N hosts sharing one controller")
+    mh.add_argument("--clients", type=int, default=4)
+    mh.add_argument("--rw", default="randread",
+                    choices=["randread", "randwrite"])
+    mh.add_argument("--bs", default="4k")
+    mh.add_argument("--iodepth", type=int, default=4)
+    mh.add_argument("--ios", type=int, default=300)
+    mh.add_argument("--seed", type=int, default=42)
+    mh.set_defaults(func=_cmd_multihost)
+    return parser
+
+
+def main(argv: t.Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,402 @@
+"""The distributed driver's *client* module (paper Sec. V).
+
+A client runs in any cluster host and operates a (usually remote) NVMe
+controller through one or more private I/O queue pairs:
+
+1. bootstraps by reading the manager's metadata segment;
+2. allocates SQ and CQ segments with access-pattern hints — by default
+   the SQ lands in *device-side* memory (the CPU writes commands through
+   the NTB with cheap posted stores; the controller fetches them
+   locally) and the CQ lands in *client-local* memory (the controller
+   posts completions through the NTB; the CPU polls locally) — Fig. 8;
+3. resolves device-visible addresses via SmartIO DMA windows and asks
+   the manager (via the mailbox RPC) to create the queue pair;
+4. maps the controller's doorbells through its own NTB;
+5. registers a block device whose data path uses a partitioned bounce
+   buffer ("NVMe DMA descriptors can be programmed once since the DMA
+   buffer segment is constant"), paying one extra memcpy per request;
+6. polls CQ memory for completions — the model has no device-generated
+   interrupts across the NTB, exactly like the paper's driver.
+
+Placement and data-path strategies are parameters so the benchmarks can
+ablate them (SQ client-side, CQ device-side, per-request IOMMU mapping
+instead of the bounce buffer).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..config import SimulationConfig
+from ..nvme import (CompletionEntry, CompletionQueueState, IoOpcode,
+                    SubmissionEntry, SubmissionQueueState,
+                    cq_doorbell_offset, sq_doorbell_offset)
+from ..sim import Event, Simulator, Store
+from ..sisci import RemoteSegment, SisciNode
+from ..smartio import Placement, SmartIoService
+from ..units import serialize_ns
+from . import metadata as meta
+from .blockdev import BlockDevice, BlockError, BlockRequest
+from .prputil import prps_for_contiguous
+
+
+class ClientError(Exception):
+    pass
+
+
+class DistributedNvmeClient(BlockDevice):
+    """Block device backed by a (possibly remote) shared NVMe controller."""
+
+    def __init__(self, sim: Simulator, smartio: SmartIoService,
+                 node: SisciNode, device_id: int,
+                 config: SimulationConfig,
+                 queue_entries: int = 64, queue_depth: int = 32,
+                 sq_placement: str = "device",
+                 cq_placement: str = "client",
+                 data_path: str = "bounce",
+                 completion_mode: str = "poll",
+                 slot_index: int | None = None,
+                 name: str | None = None) -> None:
+        if sq_placement not in ("device", "client"):
+            raise ClientError(f"bad sq_placement: {sq_placement}")
+        if cq_placement not in ("device", "client"):
+            raise ClientError(f"bad cq_placement: {cq_placement}")
+        if data_path not in ("bounce", "iommu"):
+            raise ClientError(f"bad data_path: {data_path}")
+        if completion_mode not in ("poll", "interrupt"):
+            raise ClientError(f"bad completion_mode: {completion_mode}")
+        if completion_mode == "interrupt" and cq_placement != "client":
+            raise ClientError(
+                "interrupt mode requires a client-local CQ")
+        if queue_depth >= queue_entries:
+            queue_depth = queue_entries - 1
+        self.smartio = smartio
+        self.node = node
+        self.device_id = device_id
+        self.config = config
+        self.queue_entries = queue_entries
+        self.sq_placement = sq_placement
+        self.cq_placement = cq_placement
+        self.data_path = data_path
+        self.completion_mode = completion_mode
+        self.slot_index = (slot_index if slot_index is not None
+                           else (node.node_id - 4) % meta.NSLOTS)
+        super().__init__(sim, name or f"{node.host.name}-nvme",
+                         lba_bytes=512, capacity_lbas=0,
+                         queue_depth=queue_depth)
+        self._cid = 0
+        self._inflight: dict[int, Event] = {}
+        self._running = False
+        self.qid: int | None = None
+        self._ref = None
+        self._meta_conn: RemoteSegment | None = None
+        self._poll_stream = f"poll:{self.name}"
+
+    # ------------------------------------------------------------- bootstrap
+
+    def start(self) -> t.Generator:
+        cfg = self.config
+        self._ref = self.smartio.acquire(self.device_id, self.node)
+        self._bar = self._ref.map_bar(0)
+
+        # Read the manager's metadata segment.
+        meta_node, meta_seg = self.smartio.device_metadata(self.device_id)
+        self._meta_conn = self.node.connect_segment(meta_node, meta_seg)
+        raw = yield from self._meta_conn.read(0, meta.HEADER_SIZE)
+        header = meta.unpack_header(raw)
+        self.lba_bytes = header["lba_bytes"]
+        self.capacity_lbas = header["capacity_lbas"]
+        self.nsid = header["nsid"]
+
+        # Queue segments, placed per strategy, resolved for the device.
+        sq_seg = self.smartio.alloc_segment_placed(
+            self.node, self.device_id, self.queue_entries * 64,
+            Placement.DEVICE_SIDE if self.sq_placement == "device"
+            else Placement.CPU_SIDE)
+        cq_seg = self.smartio.alloc_segment_placed(
+            self.node, self.device_id, self.queue_entries * 16,
+            Placement.CPU_SIDE if self.cq_placement == "client"
+            else Placement.DEVICE_SIDE)
+        sq_dev_addr = self._ref.map_segment_for_device(sq_seg)
+        cq_dev_addr = self._ref.map_segment_for_device(cq_seg)
+        self._sq_seg, self._cq_seg = sq_seg, cq_seg
+        # CPU-side access paths to the queue memory.
+        self._sq_conn = self.node.connect_segment(sq_seg.id.node_id,
+                                                  sq_seg.id.segment_id)
+        self._cq_conn = self.node.connect_segment(cq_seg.id.node_id,
+                                                  cq_seg.id.segment_id)
+        self._cq_local = cq_seg.host is self.node.host
+
+        # Ask the manager for a queue pair (interrupt-capable when the
+        # remote-interrupt extension is requested).
+        flags = (meta.FLAG_INTERRUPTS
+                 if self.completion_mode == "interrupt" else 0)
+        resp = yield from self._rpc(meta.OP_CREATE_QP,
+                                    entries=self.queue_entries,
+                                    sq_addr=sq_dev_addr,
+                                    cq_addr=cq_dev_addr,
+                                    flags=flags)
+        if resp["rpc_status"] != meta.RPC_OK:
+            raise ClientError(f"manager refused queue pair: "
+                              f"{resp['rpc_status']}")
+        self.qid = resp["qid"]
+        self.sq = SubmissionQueueState(qid=self.qid, base_addr=0,
+                                       entries=self.queue_entries,
+                                       cqid=self.qid)
+        self.cq = CompletionQueueState(qid=self.qid, base_addr=0,
+                                       entries=self.queue_entries)
+
+        # Bounce buffer: client-local, partitioned per in-flight request.
+        # Each partition is [one PRP-list page][data], so the NVMe DMA
+        # descriptors for a partition can be "programmed once" (Sec. V)
+        # and transfers beyond two pages have a device-reachable list.
+        self._part_size = max(cfg.cluster.bounce_partition_bytes, 4096)
+        self._part_stride = self._part_size + 4096
+        nparts = min(self.queue_depth, cfg.cluster.bounce_partitions)
+        bounce_seg = self.smartio.alloc_segment_placed(
+            self.node, self.device_id, nparts * self._part_stride,
+            Placement.CPU_SIDE)
+        self._bounce_seg = bounce_seg
+        self._bounce_dev_addr = self._ref.map_segment_for_device(bounce_seg)
+        self._parts = Store(self.sim)
+        for i in range(nparts):
+            self._parts.put(i)
+
+        if self.completion_mode == "interrupt":
+            yield from self._setup_remote_interrupts()
+
+        self._running = True
+        if self.completion_mode == "interrupt":
+            self.sim.process(self._interrupt_handler())
+        else:
+            self.sim.process(self._poller())
+
+    def _setup_remote_interrupts(self) -> t.Generator:
+        """The remote-interrupt extension (paper future work).
+
+        The controller's MSI-X write is just another posted memory
+        write, so it can be steered through a device-side NTB window to
+        a mailbox in *client* memory: allocate the mailbox as a segment,
+        map it for the device, and program the device-visible address
+        into the MSI-X table entry for our vector through the mapped
+        BAR.  PCIe posted ordering keeps the interrupt behind the CQE.
+        """
+        from ..nvme.registers import MSIX_ENTRY_SIZE, MSIX_TABLE_OFFSET
+
+        mailbox_seg = self.smartio.alloc_segment_placed(
+            self.node, self.device_id, 4096, Placement.CPU_SIDE)
+        self._irq_mailbox = mailbox_seg.phys_addr
+        mailbox_dev = self._ref.map_segment_for_device(mailbox_seg)
+        entry = self._bar + MSIX_TABLE_OFFSET + self.qid * MSIX_ENTRY_SIZE
+        for offset, value in ((0, mailbox_dev & 0xFFFF_FFFF),
+                              (4, mailbox_dev >> 32),
+                              (8, self.qid), (12, 0)):   # data, unmask
+            self.node.fabric.post_write(
+                self.node.host.rc, self.node.host, entry + offset,
+                value.to_bytes(4, "little"))
+        # Ensure the table writes have landed before any I/O is issued.
+        yield self.sim.timeout(2_000)
+
+    def shutdown(self) -> t.Generator:
+        """Return the queue pair to the manager and unmap everything."""
+        self._running = False
+        if self.qid is not None:
+            yield from self._rpc(meta.OP_DELETE_QP, qid=self.qid)
+            self.qid = None
+        if self._ref is not None:
+            self._ref.release()
+            self._ref = None
+
+    # ---------------------------------------------------------------- RPC
+
+    def _rpc(self, op: int, qid: int = 0, entries: int = 0,
+             sq_addr: int = 0, cq_addr: int = 0,
+             flags: int = 0) -> t.Generator:
+        assert self._meta_conn is not None
+        cfg = self.config.host
+        offset = meta.slot_offset(self.slot_index)
+        yield from self._meta_conn.write_wait(
+            offset, meta.pack_slot(meta.SLOT_REQUEST, op=op, qid=qid,
+                                   entries=entries, sq_addr=sq_addr,
+                                   cq_addr=cq_addr, flags=flags))
+        while True:
+            yield self.sim.timeout(cfg.rpc_poll_ns)
+            raw = yield from self._meta_conn.read(offset, meta.SLOT_SIZE)
+            resp = meta.unpack_slot(raw)
+            if resp["status"] == meta.SLOT_RESPONSE:
+                break
+        yield from self._meta_conn.write_wait(
+            offset, meta.pack_slot(meta.SLOT_FREE))
+        return resp
+
+    # ------------------------------------------------------------ data path
+
+    def _driver_submit(self, request: BlockRequest) -> t.Generator:
+        if not self._running:
+            raise ClientError("client not started")
+        cfg = self.config.host
+        nbytes = (request.nblocks * self.lba_bytes
+                  if request.op != "flush" else 0)
+        if nbytes > self._part_size:
+            raise BlockError(
+                f"request of {nbytes} bytes exceeds the bounce partition "
+                f"size {self._part_size}; split it in the workload layer")
+
+        # Naive/unoptimised submission software path (paper Sec. VI).
+        yield self.sim.timeout(cfg.block_submit_ns + cfg.dist_submit_ns)
+
+        part = yield self._parts.get()
+        list_local = self._bounce_seg.phys_addr + part * self._part_stride
+        list_device = self._bounce_dev_addr + part * self._part_stride
+        part_local = list_local + 4096
+        part_device = list_device + 4096
+
+        if self.data_path == "iommu":
+            # Future-work variant: map the request buffer on the fly
+            # instead of copying into the constant bounce segment.
+            yield self.sim.timeout(cfg.iommu_map_ns)
+
+        if request.op in BlockRequest.DATA_OUT_OPS:
+            assert request.data is not None
+            if self.data_path == "bounce":
+                yield self.sim.timeout(self._memcpy_ns(nbytes))
+            self.node.host.memory.write(part_local, request.data)
+
+        sqe = SubmissionEntry(nsid=self.nsid)
+        if request.op == "flush":
+            sqe.opcode = IoOpcode.FLUSH
+        else:
+            sqe.opcode = {"read": IoOpcode.READ,
+                          "write": IoOpcode.WRITE,
+                          "compare": IoOpcode.COMPARE,
+                          "write_zeroes": IoOpcode.WRITE_ZEROES}[request.op]
+            if request.op != "write_zeroes":
+                sqe.prp1, sqe.prp2 = prps_for_contiguous(
+                    part_device, nbytes, list_device,
+                    lambda blob: self.node.host.memory.write(list_local,
+                                                             blob))
+            sqe.slba = request.lba
+            sqe.nlb = request.nblocks - 1
+        self._cid = (self._cid + 1) % 0x10000
+        sqe.cid = self._cid
+        done = Event(self.sim)
+        self._inflight[sqe.cid] = done
+
+        # Write the SQE into queue memory.  Device-side SQ: posted store
+        # through the NTB window; client-side SQ: plain local store.
+        slot = self.sq.advance_tail()
+        self._sq_conn.write(slot * 64, sqe.pack())
+        # Ring the doorbell through the mapped BAR (posted; ordered
+        # behind the SQE store by PCIe posted-write ordering).
+        self.node.fabric.post_write(
+            self.node.host.rc, self.node.host,
+            self._bar + sq_doorbell_offset(self.qid),
+            self.sq.tail.to_bytes(4, "little"))
+
+        cqe: CompletionEntry = yield done
+        # Naive completion software path + copy out of the bounce buffer.
+        yield self.sim.timeout(cfg.dist_complete_ns)
+        request.status = cqe.status
+        if request.op == "read" and cqe.ok:
+            if self.data_path == "bounce":
+                yield self.sim.timeout(self._memcpy_ns(nbytes))
+            request.result = self.node.host.memory.read(part_local, nbytes)
+        if self.data_path == "iommu":
+            yield self.sim.timeout(cfg.iommu_unmap_ns)
+        self._parts.put(part)
+
+    def _memcpy_ns(self, nbytes: int) -> int:
+        cfg = self.config.host
+        return cfg.memcpy_overhead_ns + serialize_ns(
+            nbytes, cfg.memcpy_bandwidth)
+
+    # ----------------------------------------------------------- completion
+
+    def _poller(self) -> t.Generator:
+        """Poll CQ memory for completions (no interrupts, paper Sec. V)."""
+        if self._cq_local:
+            yield from self._poll_local()
+        else:
+            yield from self._poll_remote()
+
+    def _poll_local(self) -> t.Generator:
+        cfg = self.config.host
+        mem = self.node.host.memory
+        base = self._cq_seg.phys_addr
+        wp = mem.watch(base, self.queue_entries * 16)
+        try:
+            while self._running:
+                drained = 0
+                while True:
+                    raw = mem.read(base + self.cq.head * 16, 16)
+                    cqe = CompletionEntry.unpack(raw)
+                    if cqe.phase != self.cq.consumer_phase():
+                        break
+                    self.cq.consume()
+                    self._dispatch(cqe)
+                    drained += 1
+                if drained:
+                    self._ring_cq_doorbell()
+                    continue   # re-check before sleeping
+                yield wp.signal.wait()
+                # Busy-poll granularity: the CPU notices the write at its
+                # next poll iteration.
+                delay = self.sim.rng.uniform_ns(self._poll_stream, 0,
+                                                cfg.poll_interval_ns)
+                if delay:
+                    yield self.sim.timeout(delay)
+        finally:
+            mem.unwatch(wp)
+
+    def _interrupt_handler(self) -> t.Generator:
+        """Interrupt-driven completion: sleep until the forwarded MSI-X
+        write lands in the mailbox, pay IRQ latency, then drain."""
+        cfg = self.config.host
+        mem = self.node.host.memory
+        wp = mem.watch(self._irq_mailbox, 4)
+        base = self._cq_seg.phys_addr
+        try:
+            while self._running:
+                yield wp.signal.wait()
+                yield self.sim.timeout(cfg.interrupt_latency_ns)
+                drained = 0
+                while True:
+                    raw = mem.read(base + self.cq.head * 16, 16)
+                    cqe = CompletionEntry.unpack(raw)
+                    if cqe.phase != self.cq.consumer_phase():
+                        break
+                    self.cq.consume()
+                    self._dispatch(cqe)
+                    drained += 1
+                if drained:
+                    self._ring_cq_doorbell()
+        finally:
+            mem.unwatch(wp)
+
+    def _poll_remote(self) -> t.Generator:
+        """Ablation path: CQ in device-side memory — every poll is a
+        non-posted read across the NTB."""
+        cfg = self.config.host
+        while self._running:
+            raw = yield from self._cq_conn.read(self.cq.head * 16, 16)
+            cqe = CompletionEntry.unpack(raw)
+            if cqe.phase == self.cq.consumer_phase():
+                self.cq.consume()
+                self._dispatch(cqe)
+                self._ring_cq_doorbell()
+            elif self._inflight:
+                yield self.sim.timeout(cfg.poll_interval_ns)
+            else:
+                yield self.sim.timeout(cfg.poll_interval_ns * 10)
+
+    def _dispatch(self, cqe: CompletionEntry) -> None:
+        self.sq.head = cqe.sq_head
+        done = self._inflight.pop(cqe.cid, None)
+        if done is not None:
+            done.succeed(cqe)
+
+    def _ring_cq_doorbell(self) -> None:
+        self.node.fabric.post_write(
+            self.node.host.rc, self.node.host,
+            self._bar + cq_doorbell_offset(self.qid),
+            self.cq.head.to_bytes(4, "little"))

@@ -1,0 +1,179 @@
+"""The distributed driver's *manager* module (paper Sec. V).
+
+"Our implementation consists of a 'manager' kernel module and one or
+more 'client' kernel modules.  The manager is responsible for
+initializing the controller, setting up the admin queues, and performing
+privileged tasks, such as creating and deleting I/O queue pairs, on
+behalf of the clients."
+
+The manager:
+
+1. acquires the device exclusively through SmartIO, resets and enables
+   the controller, then downgrades to a shared reference;
+2. creates the metadata segment (header + RPC mailbox) and advertises it
+   via SmartIO;
+3. services queue-pair create/delete RPCs arriving in the mailbox.
+   Clients supply *device-side* addresses for their queue memory — they
+   resolve them with SmartIO DMA windows before calling, so the manager
+   never needs to know any other host's address-space layout.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..config import SimulationConfig
+from ..sim import Simulator
+from ..sisci import LocalSegment, SisciNode
+from ..smartio import SmartIoService
+from . import metadata as meta
+from .adminq import AdminQueues
+
+
+class ManagerError(Exception):
+    pass
+
+
+class NvmeManager:
+    """Owns the admin queues of one shared controller."""
+
+    METADATA_SEGMENT_ID_BASE = 0x4D00
+
+    def __init__(self, sim: Simulator, smartio: SmartIoService,
+                 node: SisciNode, device_id: int,
+                 config: SimulationConfig) -> None:
+        self.sim = sim
+        self.smartio = smartio
+        self.node = node
+        self.device_id = device_id
+        self.config = config
+        self.admin: AdminQueues | None = None
+        self.metadata_segment: LocalSegment | None = None
+        self._ref = None
+        self._free_qids: list[int] = []
+        self._client_qids: dict[int, list[int]] = {}   # slot -> qids
+        self._running = False
+        self.rpcs_served = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> t.Generator:
+        """Initialise the controller and publish the metadata segment."""
+        # Lock the device while resetting/initialising it.
+        self._ref = self.smartio.acquire(self.device_id, self.node,
+                                         exclusive=True)
+        bar = self._ref.map_bar(0)
+
+        # Admin queue memory lives on the manager's host.  When the
+        # manager runs somewhere other than the device's host, back the
+        # admin DMA pool with a SISCI segment mapped for the device —
+        # SmartIO resolves the device-side addresses, so this code is
+        # identical for local and remote deployment (Sec. IV).
+        device_local = (self.smartio.device_host_name(self.device_id)
+                        == self.node.host.name)
+        pool = None
+        if not device_local:
+            from .dmapool import DmaPool
+            seg = self.node.create_segment(
+                0x4A00 + self.device_id, AdminQueues.POOL_BYTES)
+            seg.set_available()
+            device_base = self._ref.map_segment_for_device(seg)
+            pool = DmaPool(self.node.host, seg.phys_addr, device_base,
+                           seg.size, name="admin-pool")
+        self.admin = AdminQueues(self.sim, self.node.fabric,
+                                 self.node.host, bar, self.config,
+                                 pool=pool)
+
+        yield from self.admin.enable_controller()
+        ident = yield from self.admin.identify_namespace(1)
+        nqueues = yield from self.admin.get_queue_count()
+        self._free_qids = list(range(1, nqueues + 1))
+
+        seg_id = self.METADATA_SEGMENT_ID_BASE + self.device_id
+        seg = self.node.create_segment(seg_id, meta.SEGMENT_SIZE)
+        seg.write(0, meta.pack_header(self.node.node_id, self.device_id,
+                                      nsid=1, lba_bytes=ident.lba_bytes,
+                                      capacity_lbas=ident.nsze))
+        for slot in range(meta.NSLOTS):
+            seg.write(meta.slot_offset(slot), meta.pack_slot(meta.SLOT_FREE))
+        seg.set_available()
+        self.metadata_segment = seg
+        self.smartio.set_device_metadata(self.device_id,
+                                         (self.node.node_id, seg_id))
+
+        # Device initialised: let clients in.
+        self._ref.downgrade()
+        self._running = True
+        self.sim.process(self._mailbox_worker())
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- RPC service ---------------------------------------------------------------
+
+    def _mailbox_worker(self) -> t.Generator:
+        """Poll the mailbox region for client requests (local memory)."""
+        seg = self.metadata_segment
+        assert seg is not None
+        mem = self.node.host.memory
+        region_start = seg.phys_addr + meta.HEADER_SIZE
+        region_len = meta.NSLOTS * meta.SLOT_SIZE
+        wp = mem.watch(region_start, region_len)
+        try:
+            while self._running:
+                progressed = True
+                while progressed:
+                    progressed = False
+                    for slot in range(meta.NSLOTS):
+                        raw = seg.read(meta.slot_offset(slot),
+                                       meta.SLOT_SIZE)
+                        req = meta.unpack_slot(raw)
+                        if req["status"] == meta.SLOT_REQUEST:
+                            yield from self._serve(slot, req)
+                            progressed = True
+                yield wp.signal.wait()
+        finally:
+            mem.unwatch(wp)
+
+    def _serve(self, slot: int, req: dict) -> t.Generator:
+        assert self.admin is not None and self.metadata_segment is not None
+        self.rpcs_served += 1
+        rpc_status = meta.RPC_OK
+        qid = 0
+        if req["op"] == meta.OP_CREATE_QP:
+            if not self._free_qids:
+                rpc_status = meta.RPC_NO_QUEUES
+            elif req["entries"] < 2 or not req["sq_addr"] \
+                    or not req["cq_addr"]:
+                rpc_status = meta.RPC_BAD_REQUEST
+            else:
+                qid = self._free_qids.pop(0)
+                interrupts = bool(req["flags"] & meta.FLAG_INTERRUPTS)
+                yield from self.admin.create_io_cq(
+                    qid, req["entries"], req["cq_addr"],
+                    interrupts=interrupts, vector=qid)
+                yield from self.admin.create_io_sq(qid, req["entries"],
+                                                   req["sq_addr"],
+                                                   cqid=qid)
+                self._client_qids.setdefault(slot, []).append(qid)
+        elif req["op"] == meta.OP_DELETE_QP:
+            owned = self._client_qids.get(slot, [])
+            if req["qid"] not in owned:
+                rpc_status = meta.RPC_BAD_REQUEST
+            else:
+                yield from self.admin.delete_io_sq(req["qid"])
+                yield from self.admin.delete_io_cq(req["qid"])
+                owned.remove(req["qid"])
+                self._free_qids.append(req["qid"])
+                qid = req["qid"]
+        else:
+            rpc_status = meta.RPC_BAD_REQUEST
+
+        self.metadata_segment.write(
+            meta.slot_offset(slot),
+            meta.pack_slot(meta.SLOT_RESPONSE, op=req["op"], qid=qid,
+                           rpc_status=rpc_status))
+
+    @property
+    def queues_in_use(self) -> int:
+        return sum(len(v) for v in self._client_qids.values())

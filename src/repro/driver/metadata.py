@@ -1,0 +1,86 @@
+"""Layout of the manager's metadata segment (paper Sec. V).
+
+"The manager also allocates a shared memory segment associated with the
+controller with metadata about the manager, such as which host it runs
+on.  This informs clients that the device is being managed and tells
+them how to contact the manager."
+
+The segment holds a header plus a mailbox of fixed-size RPC slots (one
+per client node id) through which clients request I/O queue-pair
+creation/deletion.  Clients write requests through their NTB mapping;
+the manager polls locally via a watchpoint and writes responses in
+place.  All of this is setup-path traffic.
+"""
+
+from __future__ import annotations
+
+import struct
+
+MAGIC = 0x4E564D45        # "NVME"
+HEADER_SIZE = 64
+SLOT_SIZE = 128
+NSLOTS = 64
+
+SEGMENT_SIZE = HEADER_SIZE + NSLOTS * SLOT_SIZE
+
+# Slot status values
+SLOT_FREE = 0
+SLOT_REQUEST = 1
+SLOT_RESPONSE = 2
+
+# RPC opcodes
+OP_CREATE_QP = 1
+OP_DELETE_QP = 2
+
+# RPC status
+RPC_OK = 0
+RPC_NO_QUEUES = 1
+RPC_BAD_REQUEST = 2
+
+_HEADER = struct.Struct("<IIIIIIQ")      # magic, mgr node, device, nsid,
+                                         # lba_bytes, nslots, capacity
+_SLOT = struct.Struct("<IIIIQQII")       # status, op, qid, entries,
+                                         # sq_addr, cq_addr, rpc_status,
+                                         # flags
+assert _SLOT.size <= SLOT_SIZE
+assert _HEADER.size <= HEADER_SIZE
+
+# Slot flags
+FLAG_INTERRUPTS = 1 << 0   # create the CQ with IEN set, vector = qid
+
+
+def pack_header(manager_node_id: int, device_id: int, nsid: int,
+                lba_bytes: int, capacity_lbas: int) -> bytes:
+    return _HEADER.pack(MAGIC, manager_node_id, device_id, nsid,
+                        lba_bytes, NSLOTS, capacity_lbas).ljust(
+                            HEADER_SIZE, b"\x00")
+
+
+def unpack_header(data: bytes) -> dict:
+    magic, node, device, nsid, lba, nslots, capacity = _HEADER.unpack(
+        data[:_HEADER.size])
+    if magic != MAGIC:
+        raise ValueError(f"bad metadata magic: {magic:#x}")
+    return {"manager_node_id": node, "device_id": device, "nsid": nsid,
+            "lba_bytes": lba, "nslots": nslots, "capacity_lbas": capacity}
+
+
+def slot_offset(index: int) -> int:
+    if not 0 <= index < NSLOTS:
+        raise ValueError(f"slot index out of range: {index}")
+    return HEADER_SIZE + index * SLOT_SIZE
+
+
+def pack_slot(status: int, op: int = 0, qid: int = 0, entries: int = 0,
+              sq_addr: int = 0, cq_addr: int = 0,
+              rpc_status: int = 0, flags: int = 0) -> bytes:
+    return _SLOT.pack(status, op, qid, entries, sq_addr, cq_addr,
+                      rpc_status, flags).ljust(SLOT_SIZE, b"\x00")
+
+
+def unpack_slot(data: bytes) -> dict:
+    status, op, qid, entries, sq_addr, cq_addr, rpc_status, flags = \
+        _SLOT.unpack(data[:_SLOT.size])
+    return {"status": status, "op": op, "qid": qid, "entries": entries,
+            "sq_addr": sq_addr, "cq_addr": cq_addr,
+            "rpc_status": rpc_status, "flags": flags}

@@ -1,0 +1,109 @@
+"""RAID-0-style striping across multiple (shared) block devices.
+
+The SmartIO lineage of the paper (device lending, Sec. VII) is about
+composing *multiple* remote devices per host.  This layer demonstrates
+the composition: a client host that holds queue pairs on several shared
+NVMe controllers — each possibly in a different cluster host — presents
+them as one striped block device with additive bandwidth.
+
+Pure block-layer logic: requests are split at stripe boundaries, issued
+to the member devices in parallel, and merged in order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from ..sim import Simulator
+from .blockdev import BlockDevice, BlockError, BlockRequest
+
+
+@dataclasses.dataclass(frozen=True)
+class _Chunk:
+    device_index: int
+    device_lba: int
+    nblocks: int
+    offset_bytes: int      # offset of this chunk in the original request
+
+
+class StripedBlockDevice(BlockDevice):
+    """RAID-0 over equally sized member block devices."""
+
+    def __init__(self, sim: Simulator, members: t.Sequence[BlockDevice],
+                 stripe_lbas: int = 256, queue_depth: int = 64,
+                 name: str = "md0") -> None:
+        if len(members) < 2:
+            raise BlockError("striping needs at least two members")
+        lba = members[0].lba_bytes
+        if any(m.lba_bytes != lba for m in members):
+            raise BlockError("members disagree on LBA size")
+        if any(m.sim is not sim for m in members):
+            raise BlockError("members must share a simulator")
+        if stripe_lbas < 1:
+            raise BlockError("stripe size must be >= 1 LBA")
+        self.members = list(members)
+        self.stripe_lbas = stripe_lbas
+        capacity = min(m.capacity_lbas for m in members) * len(members)
+        super().__init__(sim, name, lba_bytes=lba,
+                         capacity_lbas=capacity, queue_depth=queue_depth)
+
+    # -- geometry -----------------------------------------------------------
+
+    def _split(self, lba: int, nblocks: int) -> list[_Chunk]:
+        """Map a logical extent to per-member chunks."""
+        chunks: list[_Chunk] = []
+        n = len(self.members)
+        offset = 0
+        while nblocks > 0:
+            stripe_index, within = divmod(lba, self.stripe_lbas)
+            device_index = stripe_index % n
+            device_stripe = stripe_index // n
+            run = min(nblocks, self.stripe_lbas - within)
+            chunks.append(_Chunk(
+                device_index=device_index,
+                device_lba=device_stripe * self.stripe_lbas + within,
+                nblocks=run,
+                offset_bytes=offset))
+            lba += run
+            nblocks -= run
+            offset += run * self.lba_bytes
+        return chunks
+
+    # -- data path -------------------------------------------------------------
+
+    def _driver_submit(self, request: BlockRequest) -> t.Generator:
+        if request.op == "flush":
+            events = [m.submit(BlockRequest("flush"))
+                      for m in self.members]
+            done = yield self.sim.all_of(events)
+            request.status = max(r.status for r in done.values())
+            return
+
+        chunks = self._split(request.lba, request.nblocks)
+        subs: list[tuple[_Chunk, BlockRequest]] = []
+        for chunk in chunks:
+            if request.op in BlockRequest.DATA_OUT_OPS:
+                assert request.data is not None
+                piece = request.data[chunk.offset_bytes:
+                                     chunk.offset_bytes
+                                     + chunk.nblocks * self.lba_bytes]
+                sub = BlockRequest(request.op, lba=chunk.device_lba,
+                                   data=piece)
+            else:
+                sub = BlockRequest(request.op, lba=chunk.device_lba,
+                                   nblocks=chunk.nblocks)
+            subs.append((chunk, sub))
+
+        events = [self.members[chunk.device_index].submit(sub)
+                  for chunk, sub in subs]
+        yield self.sim.all_of(events)
+
+        request.status = max(sub.status for _c, sub in subs)
+        if request.op == "read" and request.ok:
+            out = bytearray(request.nblocks * self.lba_bytes)
+            for chunk, sub in subs:
+                assert sub.result is not None
+                out[chunk.offset_bytes:
+                    chunk.offset_bytes + len(sub.result)] = sub.result
+            request.result = bytes(out)

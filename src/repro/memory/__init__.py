@@ -1,0 +1,8 @@
+"""Host physical memory substrate: byte-accurate DRAM, watchpoints and a
+contiguous range allocator."""
+
+from .allocator import OutOfSpace, RangeAllocator
+from .physmem import HostMemory, MemoryError_, Watchpoint
+
+__all__ = ["HostMemory", "Watchpoint", "MemoryError_",
+           "RangeAllocator", "OutOfSpace"]

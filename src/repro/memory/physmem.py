@@ -1,0 +1,155 @@
+"""Host physical memory with real byte contents and write watchpoints.
+
+Memory contents are stored *sparsely* (4 KiB extents materialised on
+first write) so hosts can present gigabytes of DRAM while the simulator
+only pays for pages the workload actually touches — the same technique
+the namespace store uses.  DMA and MMIO still move real bytes, so
+end-to-end tests can verify data integrity through every layer (block
+write on host A -> NVMe media -> block read on host B).
+
+Watchpoints are the mechanism behind "polling local memory": the client
+driver arms a watchpoint on its CQ ring; when the controller's posted
+CQE write lands, the watchpoint fires a :class:`~repro.sim.Signal` and
+the polling process wakes after its (configurable) poll-interval cost.
+This models busy-polling without simulating billions of poll iterations.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..sim import Signal, Simulator
+
+
+class MemoryError_(Exception):
+    """Access outside the populated physical range."""
+
+
+class Watchpoint:
+    """A write-triggered signal over a physical address range."""
+
+    __slots__ = ("start", "end", "signal", "active")
+
+    def __init__(self, sim: Simulator, start: int, end: int) -> None:
+        self.start = start
+        self.end = end
+        self.signal = Signal(sim)
+        self.active = True
+
+    def overlaps(self, start: int, end: int) -> bool:
+        return self.active and self.start < end and start < self.end
+
+
+class HostMemory:
+    """Physical DRAM of one host (sparse backing).
+
+    Addresses are *physical addresses within this host's address space*;
+    the base is configurable so tests can assert nothing accidentally
+    treats a physical address as a buffer offset.
+    """
+
+    EXTENT = 4096
+
+    def __init__(self, sim: Simulator, size: int,
+                 base: int = 0x1000_0000, name: str = "mem") -> None:
+        if size <= 0:
+            raise ValueError("memory size must be positive")
+        self.sim = sim
+        self.base = base
+        self.size = size
+        self.name = name
+        self._extents: dict[int, bytearray] = {}
+        self._watchpoints: list[Watchpoint] = []
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int, length: int = 1) -> bool:
+        return self.base <= addr and addr + length <= self.end
+
+    def _check(self, addr: int, length: int) -> None:
+        if not self.contains(addr, length):
+            raise MemoryError_(
+                f"{self.name}: access [{addr:#x}, +{length}) outside "
+                f"[{self.base:#x}, {self.end:#x})")
+
+    # -- data access ---------------------------------------------------------
+
+    def read(self, addr: int, length: int) -> bytes:
+        self._check(addr, length)
+        offset = addr - self.base
+        out = bytearray(length)
+        pos = 0
+        while pos < length:
+            index, within = divmod(offset + pos, self.EXTENT)
+            run = min(length - pos, self.EXTENT - within)
+            extent = self._extents.get(index)
+            if extent is not None:
+                out[pos: pos + run] = extent[within: within + run]
+            pos += run
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes | bytearray | memoryview) -> None:
+        length = len(data)
+        self._check(addr, length)
+        if not isinstance(data, (bytes, bytearray)):
+            data = bytes(data)
+        offset = addr - self.base
+        pos = 0
+        while pos < length:
+            index, within = divmod(offset + pos, self.EXTENT)
+            run = min(length - pos, self.EXTENT - within)
+            extent = self._extents.get(index)
+            if extent is None:
+                extent = bytearray(self.EXTENT)
+                self._extents[index] = extent
+            extent[within: within + run] = data[pos: pos + run]
+            pos += run
+        if self._watchpoints:
+            self._fire_watchpoints(addr, addr + length)
+
+    def read_u32(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 4), "little")
+
+    def write_u32(self, addr: int, value: int) -> None:
+        self.write(addr, (value & 0xFFFF_FFFF).to_bytes(4, "little"))
+
+    def read_u64(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write(addr, (value & 0xFFFF_FFFF_FFFF_FFFF).to_bytes(8, "little"))
+
+    def fill(self, addr: int, length: int, byte: int = 0) -> None:
+        self.write(addr, bytes([byte]) * length)
+
+    def resident_bytes(self) -> int:
+        """Bytes of backing store actually materialised."""
+        return len(self._extents) * self.EXTENT
+
+    # -- watchpoints ----------------------------------------------------------
+
+    def watch(self, addr: int, length: int) -> Watchpoint:
+        """Arm a watchpoint whose signal fires on any write overlapping
+        ``[addr, addr+length)``."""
+        self._check(addr, length)
+        wp = Watchpoint(self.sim, addr, addr + length)
+        self._watchpoints.append(wp)
+        return wp
+
+    def unwatch(self, wp: Watchpoint) -> None:
+        wp.active = False
+        try:
+            self._watchpoints.remove(wp)
+        except ValueError:
+            pass
+
+    def _fire_watchpoints(self, start: int, end: int) -> None:
+        for wp in self._watchpoints:
+            if wp.overlaps(start, end):
+                wp.signal.fire((start, end))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<HostMemory {self.name} base={self.base:#x} "
+                f"size={self.size:#x}>")

@@ -1,0 +1,109 @@
+"""NVMe 1.3 constants: register offsets, opcodes, status codes.
+
+Only the subset exercised by the paper's driver is defined, but every
+value matches the NVM Express 1.3d specification [1] so the binary
+structures produced here would be recognised by a real controller.
+"""
+
+from __future__ import annotations
+
+import enum
+
+# --- controller registers (BAR0 offsets) ----------------------------------
+
+REG_CAP = 0x00      # Controller Capabilities (8 bytes)
+REG_VS = 0x08       # Version
+REG_INTMS = 0x0C    # Interrupt Mask Set
+REG_INTMC = 0x10    # Interrupt Mask Clear
+REG_CC = 0x14       # Controller Configuration
+REG_CSTS = 0x1C     # Controller Status
+REG_AQA = 0x24      # Admin Queue Attributes
+REG_ASQ = 0x28      # Admin Submission Queue Base (8 bytes)
+REG_ACQ = 0x30      # Admin Completion Queue Base (8 bytes)
+DOORBELL_BASE = 0x1000
+
+#: NVMe version 1.3 encoded as per the VS register layout.
+NVME_VERSION_1_3 = (1 << 16) | (3 << 8)
+
+# CC fields
+CC_EN = 1 << 0
+CC_SHN_NORMAL = 0b01 << 14
+CC_IOSQES_SHIFT = 16
+CC_IOCQES_SHIFT = 20
+CC_MPS_SHIFT = 7
+
+# CSTS fields
+CSTS_RDY = 1 << 0
+CSTS_CFS = 1 << 1
+CSTS_SHST_COMPLETE = 0b10 << 2
+
+# --- command opcodes -------------------------------------------------------
+
+
+class AdminOpcode(enum.IntEnum):
+    DELETE_IO_SQ = 0x00
+    CREATE_IO_SQ = 0x01
+    DELETE_IO_CQ = 0x04
+    CREATE_IO_CQ = 0x05
+    IDENTIFY = 0x06
+    ABORT = 0x08
+    SET_FEATURES = 0x09
+    GET_FEATURES = 0x0A
+
+
+class IoOpcode(enum.IntEnum):
+    FLUSH = 0x00
+    WRITE = 0x01
+    READ = 0x02
+    COMPARE = 0x05
+    WRITE_ZEROES = 0x08
+
+
+# Identify CNS values
+CNS_NAMESPACE = 0x00
+CNS_CONTROLLER = 0x01
+CNS_ACTIVE_NS_LIST = 0x02
+
+# Feature identifiers
+FEAT_NUM_QUEUES = 0x07
+
+# --- status codes (Status Code Type 0: generic) -----------------------------
+
+
+class Status(enum.IntEnum):
+    SUCCESS = 0x00
+    INVALID_OPCODE = 0x01
+    INVALID_FIELD = 0x02
+    CID_CONFLICT = 0x03
+    DATA_TRANSFER_ERROR = 0x04
+    INTERNAL_ERROR = 0x06
+    INVALID_QUEUE_ID = 0x01_01      # SCT 1, SC 1 (invalid queue identifier)
+    INVALID_QUEUE_SIZE = 0x01_02    # SCT 1, SC 2 (invalid queue size)
+    LBA_OUT_OF_RANGE = 0x80
+    WRITE_FAULT = 0x02_80           # SCT 2 (media), SC 0x80
+    UNRECOVERED_READ_ERROR = 0x02_81  # SCT 2 (media), SC 0x81
+    COMPARE_FAILURE = 0x02_85       # SCT 2 (media), SC 0x85
+
+
+def status_field(status: int, phase: int) -> int:
+    """Pack CQE DW3 bits 31:16: status[14:0] << 1 | phase."""
+    sct = (status >> 8) & 0x7
+    sc = status & 0xFF
+    return (((sct << 8) | sc) << 1) | (phase & 1)
+
+
+def parse_status(dw3_hi: int) -> tuple[int, int]:
+    """Inverse of :func:`status_field`: returns (status, phase)."""
+    phase = dw3_hi & 1
+    code = dw3_hi >> 1
+    sct = (code >> 8) & 0x7
+    sc = code & 0xFF
+    return ((sct << 8) | sc), phase
+
+
+# --- sizes -------------------------------------------------------------------
+
+SQE_SIZE = 64
+CQE_SIZE = 16
+PAGE_SIZE = 4096            # CC.MPS = 0
+IDENTIFY_SIZE = 4096

@@ -1,0 +1,518 @@
+"""The NVMe controller model.
+
+A single-function PCIe endpoint implementing the NVMe 1.3 queue
+mechanics the paper's driver relies on:
+
+* BAR0 with control registers, per-queue doorbells and an MSI-X table;
+* admin command set (identify, I/O queue create/delete, features);
+* NVM command set (read/write/flush) with PRP resolution;
+* SQE fetch via non-posted DMA reads from queue memory *wherever that
+  memory is* — local DRAM, or across an NTB in another host entirely
+  ("any address a controller can use DMA to is a valid queue memory
+  location", paper Sec. V);
+* CQE posting and data transfers as posted DMA writes, so completion
+  latency is one-way while command fetch pays a round trip — the
+  asymmetry behind the paper's SQ-placement optimisation (Fig. 8).
+
+The controller never takes shortcuts through Python object graphs: every
+byte of every SQE, CQE, PRP list and data block moves through the fabric
+with its full latency/bandwidth accounting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from ..config import NvmeConfig
+from ..pcie.device import Bar, PCIeFunction
+from ..sim import NULL_TRACER, Signal, Simulator
+from .constants import (CC_EN, CSTS_RDY, CSTS_SHST_COMPLETE, DOORBELL_BASE,
+                        PAGE_SIZE, AdminOpcode, IoOpcode, Status,
+                        CNS_ACTIVE_NS_LIST, CNS_CONTROLLER, CNS_NAMESPACE,
+                        FEAT_NUM_QUEUES,
+                        IDENTIFY_SIZE, SQE_SIZE)
+from .media import Media, OptaneMedia
+from .namespace import Namespace, NamespaceError
+from .prp import PrpError, resolve_prps
+from .queues import CompletionQueueState, SubmissionQueueState
+from .registers import (MSIX_ENTRY_SIZE, MSIX_TABLE_OFFSET, MSIX_VECTORS,
+                        RegisterFile, doorbell_index)
+from .structs import CompletionEntry, IdentifyController, SubmissionEntry
+
+
+@dataclasses.dataclass
+class _ControllerSq:
+    state: SubmissionQueueState
+    db_tail: int = 0
+    active: bool = True
+    signal: Signal | None = None
+
+
+@dataclasses.dataclass
+class _ControllerCq:
+    state: CompletionQueueState
+    db_head: int = 0
+    interrupts_enabled: bool = False
+    vector: int = 0
+    active: bool = True
+
+
+@dataclasses.dataclass
+class _MsixEntry:
+    addr: int = 0
+    data: int = 0
+    masked: bool = True
+
+
+class NvmeController(PCIeFunction):
+    """A single-function NVMe controller endpoint."""
+
+    BAR_SIZE = 0x4000
+
+    def __init__(self, sim: Simulator, name: str, config: NvmeConfig,
+                 media: Media | None = None, tracer=NULL_TRACER) -> None:
+        super().__init__(sim, name)
+        self.config = config
+        self.tracer = tracer
+        self.add_bar(0, self.BAR_SIZE)
+        self.regs = RegisterFile(config.max_queue_entries,
+                                 config.doorbell_stride)
+        self.media = media or OptaneMedia(sim, config.media,
+                                          name=f"{name}.media")
+        self.namespaces: dict[int, Namespace] = {
+            1: Namespace(1, config.media.capacity_lbas,
+                         config.media.lba_bytes),
+        }
+        self._next_nsid = 2
+        self.sqs: dict[int, _ControllerSq] = {}
+        self.cqs: dict[int, _ControllerCq] = {}
+        self.msix: list[_MsixEntry] = [_MsixEntry()
+                                       for _ in range(MSIX_VECTORS)]
+        #: accounting
+        self.commands_completed = 0
+        self.fetches = 0
+        self.bad_doorbells = 0
+
+    # ------------------------------------------------------------------ MMIO
+
+    def mmio_read(self, bar: Bar, offset: int, length: int) -> bytes:
+        if offset >= MSIX_TABLE_OFFSET:
+            return self._msix_read(offset, length)
+        if offset >= DOORBELL_BASE:
+            return bytes(length)  # doorbells are write-only; reads give 0
+        return self.regs.read(offset, length)
+
+    def mmio_write(self, bar: Bar, offset: int, data: bytes) -> None:
+        if offset >= MSIX_TABLE_OFFSET:
+            self._msix_write(offset, data)
+            return
+        if offset >= DOORBELL_BASE:
+            self._doorbell_write(offset, data)
+            return
+        value = int.from_bytes(data, "little")
+        if offset == 0x14:        # CC
+            self._write_cc(value)
+        elif offset == 0x24:      # AQA
+            self.regs.aqa = value
+        elif offset == 0x28:      # ASQ (allow 4- or 8-byte writes)
+            if len(data) == 8:
+                self.regs.asq = value
+            else:
+                self.regs.asq = (self.regs.asq & ~0xFFFF_FFFF) | value
+        elif offset == 0x2C:
+            self.regs.asq = ((self.regs.asq & 0xFFFF_FFFF)
+                             | (value << 32))
+        elif offset == 0x30:      # ACQ
+            if len(data) == 8:
+                self.regs.acq = value
+            else:
+                self.regs.acq = (self.regs.acq & ~0xFFFF_FFFF) | value
+        elif offset == 0x34:
+            self.regs.acq = ((self.regs.acq & 0xFFFF_FFFF)
+                             | (value << 32))
+        elif offset == 0x0C:      # INTMS
+            self.regs.intms |= value
+        elif offset == 0x10:      # INTMC
+            self.regs.intms &= ~value
+        # writes to read-only registers are silently dropped, as on metal
+
+    # -------------------------------------------------------- enable / reset
+
+    def _write_cc(self, value: int) -> None:
+        was_enabled = self.regs.enabled
+        self.regs.cc = value
+        if value & CC_EN and not was_enabled:
+            self.sim.process(self._enable())
+        elif not (value & CC_EN) and was_enabled:
+            self._reset()
+        if (value >> 14) & 0x3:   # shutdown notification
+            self.regs.csts |= CSTS_SHST_COMPLETE
+
+    def _enable(self) -> t.Generator:
+        yield self.sim.timeout(self.config.enable_latency_ns)
+        if not self.regs.enabled:
+            return  # disabled again while coming up
+        # Create the admin queue pair from AQA/ASQ/ACQ.
+        acq = _ControllerCq(CompletionQueueState(
+            qid=0, base_addr=self.regs.acq,
+            entries=self.regs.admin_cq_entries))
+        acq.interrupts_enabled = True
+        asq = _ControllerSq(SubmissionQueueState(
+            qid=0, base_addr=self.regs.asq,
+            entries=self.regs.admin_sq_entries, cqid=0))
+        asq.signal = Signal(self.sim)
+        self.cqs[0] = acq
+        self.sqs[0] = asq
+        self.regs.csts |= CSTS_RDY
+        self.sim.process(self._sq_worker(asq))
+        self.tracer.emit("nvme", "enabled", name=self.name)
+
+    def _reset(self) -> None:
+        for sq in self.sqs.values():
+            sq.active = False
+            if sq.signal is not None:
+                sq.signal.fire()       # wake workers so they exit
+        self.sqs.clear()
+        self.cqs.clear()
+        self.regs.csts &= ~CSTS_RDY
+
+    # ------------------------------------------------------------- doorbells
+
+    def _doorbell_write(self, offset: int, data: bytes) -> None:
+        qid, is_cq = doorbell_index(offset)
+        value = int.from_bytes(data, "little")
+        if is_cq:
+            cq = self.cqs.get(qid)
+            if cq is None or not cq.active:
+                self.bad_doorbells += 1
+                return
+            cq.db_head = value
+        else:
+            sq = self.sqs.get(qid)
+            if sq is None or not sq.active:
+                self.bad_doorbells += 1
+                return
+            if value >= sq.state.entries:
+                self.bad_doorbells += 1
+                return
+            sq.db_tail = value
+            assert sq.signal is not None
+            sq.signal.fire()
+        self.tracer.emit("nvme", "doorbell", qid=qid, cq=is_cq, value=value)
+
+    # ------------------------------------------------------------ MSI-X table
+
+    def _msix_read(self, offset: int, length: int) -> bytes:
+        rel = offset - MSIX_TABLE_OFFSET
+        vector, field = divmod(rel, MSIX_ENTRY_SIZE)
+        if vector >= MSIX_VECTORS:
+            return bytes(length)
+        entry = self.msix[vector]
+        raw = (entry.addr.to_bytes(8, "little")
+               + entry.data.to_bytes(4, "little")
+               + (1 if entry.masked else 0).to_bytes(4, "little"))
+        return raw[field: field + length]
+
+    def _msix_write(self, offset: int, data: bytes) -> None:
+        rel = offset - MSIX_TABLE_OFFSET
+        vector, field = divmod(rel, MSIX_ENTRY_SIZE)
+        if vector >= MSIX_VECTORS:
+            return
+        entry = self.msix[vector]
+        raw = bytearray(entry.addr.to_bytes(8, "little")
+                        + entry.data.to_bytes(4, "little")
+                        + (1 if entry.masked else 0).to_bytes(4, "little"))
+        raw[field: field + len(data)] = data
+        entry.addr = int.from_bytes(raw[0:8], "little")
+        entry.data = int.from_bytes(raw[8:12], "little")
+        entry.masked = bool(int.from_bytes(raw[12:16], "little") & 1)
+
+    # ----------------------------------------------------------- SQ workers
+
+    def _sq_worker(self, sq: _ControllerSq) -> t.Generator:
+        """Fetch-and-dispatch loop for one submission queue."""
+        cfg = self.config
+        assert sq.signal is not None
+        while sq.active:
+            if sq.state.head == sq.db_tail:
+                yield sq.signal.wait()
+                if not sq.active:
+                    return
+                # Doorbell processing / arbitration cost, paid per wakeup.
+                yield self.sim.timeout(cfg.doorbell_to_fetch_ns)
+                continue
+            slot = sq.state.head
+            raw = yield from self.dma_read(sq.state.slot_addr(slot),
+                                           SQE_SIZE)
+            sq.state.head = (sq.state.head + 1) % sq.state.entries
+            self.fetches += 1
+            sqe = SubmissionEntry.unpack(raw)
+            yield self.sim.timeout(cfg.command_decode_ns)
+            self.tracer.emit("nvme", "fetched", qid=sq.state.qid,
+                             opcode=sqe.opcode, cid=sqe.cid)
+            if sq.state.qid == 0:
+                self.sim.process(self._execute_admin(sq, sqe))
+            else:
+                self.sim.process(self._execute_io(sq, sqe))
+
+    # --------------------------------------------------------------- admin
+
+    def _execute_admin(self, sq: _ControllerSq, sqe: SubmissionEntry):
+        yield self.sim.timeout(self.config.admin_command_ns)
+        status, result = Status.SUCCESS, 0
+        try:
+            opcode = AdminOpcode(sqe.opcode)
+        except ValueError:
+            yield from self._complete(sq, sqe, Status.INVALID_OPCODE, 0)
+            return
+
+        if opcode == AdminOpcode.IDENTIFY:
+            status, result = yield from self._admin_identify(sqe)
+        elif opcode == AdminOpcode.CREATE_IO_CQ:
+            status = self._admin_create_cq(sqe)
+        elif opcode == AdminOpcode.CREATE_IO_SQ:
+            status = self._admin_create_sq(sqe)
+        elif opcode == AdminOpcode.DELETE_IO_SQ:
+            status = self._admin_delete_sq(sqe)
+        elif opcode == AdminOpcode.DELETE_IO_CQ:
+            status = self._admin_delete_cq(sqe)
+        elif opcode in (AdminOpcode.SET_FEATURES, AdminOpcode.GET_FEATURES):
+            status, result = self._admin_features(sqe)
+        else:
+            status = Status.INVALID_OPCODE
+        yield from self._complete(sq, sqe, status, result)
+
+    def add_namespace(self, capacity_lbas: int,
+                      lba_bytes: int = 512) -> int:
+        """Attach another namespace (setup-time, like a format/attach).
+
+        Namespaces share the same media (channels and bandwidth), as on
+        a real multi-namespace drive.
+        """
+        nsid = self._next_nsid
+        self._next_nsid += 1
+        self.namespaces[nsid] = Namespace(nsid, capacity_lbas, lba_bytes)
+        return nsid
+
+    def _admin_identify(self, sqe: SubmissionEntry):
+        cns = sqe.cdw10 & 0xFF
+        if cns == CNS_CONTROLLER:
+            ident = IdentifyController(nn=len(self.namespaces))
+            payload = ident.pack()
+        elif cns == CNS_NAMESPACE:
+            ns = self.namespaces.get(sqe.nsid)
+            if ns is None:
+                return Status.INVALID_FIELD, 0
+            payload = ns.identify().pack()
+        elif cns == CNS_ACTIVE_NS_LIST:
+            # 1024 x u32 NSIDs greater than CDW1.NSID, ascending.
+            buf = bytearray(IDENTIFY_SIZE)
+            ids = sorted(n for n in self.namespaces if n > sqe.nsid)
+            for i, nsid in enumerate(ids[:1024]):
+                buf[i * 4:(i + 1) * 4] = nsid.to_bytes(4, "little")
+            payload = bytes(buf)
+        else:
+            return Status.INVALID_FIELD, 0
+        if sqe.prp1 == 0 or sqe.prp1 % PAGE_SIZE:
+            return Status.INVALID_FIELD, 0
+        assert len(payload) == IDENTIFY_SIZE
+        yield from self.fabric_write_wait(sqe.prp1, payload)
+        return Status.SUCCESS, 0
+
+    def _admin_create_cq(self, sqe: SubmissionEntry) -> int:
+        qid = sqe.cdw10 & 0xFFFF
+        entries = ((sqe.cdw10 >> 16) & 0xFFFF) + 1
+        contiguous = sqe.cdw11 & 1
+        interrupts = bool(sqe.cdw11 & 2)
+        vector = (sqe.cdw11 >> 16) & 0xFFFF
+        if not contiguous or sqe.prp1 == 0:
+            return Status.INVALID_FIELD
+        if not 1 <= qid < self.config.max_queue_pairs or qid in self.cqs:
+            return Status.INVALID_QUEUE_ID
+        if not 2 <= entries <= self.config.max_queue_entries:
+            return Status.INVALID_QUEUE_SIZE
+        cq = _ControllerCq(CompletionQueueState(qid=qid, base_addr=sqe.prp1,
+                                                entries=entries))
+        cq.interrupts_enabled = interrupts
+        cq.vector = vector
+        self.cqs[qid] = cq
+        return Status.SUCCESS
+
+    def _admin_create_sq(self, sqe: SubmissionEntry) -> int:
+        qid = sqe.cdw10 & 0xFFFF
+        entries = ((sqe.cdw10 >> 16) & 0xFFFF) + 1
+        contiguous = sqe.cdw11 & 1
+        cqid = (sqe.cdw11 >> 16) & 0xFFFF
+        if not contiguous or sqe.prp1 == 0:
+            return Status.INVALID_FIELD
+        if not 1 <= qid < self.config.max_queue_pairs or qid in self.sqs:
+            return Status.INVALID_QUEUE_ID
+        if cqid not in self.cqs:
+            return Status.INVALID_QUEUE_ID
+        if not 2 <= entries <= self.config.max_queue_entries:
+            return Status.INVALID_QUEUE_SIZE
+        sq = _ControllerSq(SubmissionQueueState(
+            qid=qid, base_addr=sqe.prp1, entries=entries, cqid=cqid))
+        sq.signal = Signal(self.sim)
+        self.sqs[qid] = sq
+        self.sim.process(self._sq_worker(sq))
+        return Status.SUCCESS
+
+    def _admin_delete_sq(self, sqe: SubmissionEntry) -> int:
+        qid = sqe.cdw10 & 0xFFFF
+        sq = self.sqs.get(qid)
+        if qid == 0 or sq is None:
+            return Status.INVALID_QUEUE_ID
+        sq.active = False
+        assert sq.signal is not None
+        sq.signal.fire()
+        del self.sqs[qid]
+        return Status.SUCCESS
+
+    def _admin_delete_cq(self, sqe: SubmissionEntry) -> int:
+        qid = sqe.cdw10 & 0xFFFF
+        if qid == 0 or qid not in self.cqs:
+            return Status.INVALID_QUEUE_ID
+        # Spec: all SQs using the CQ must be deleted first.
+        if any(sq.state.cqid == qid for sq in self.sqs.values()):
+            return Status.INVALID_QUEUE_ID
+        del self.cqs[qid]
+        return Status.SUCCESS
+
+    def _admin_features(self, sqe: SubmissionEntry) -> tuple[int, int]:
+        fid = sqe.cdw10 & 0xFF
+        if fid == FEAT_NUM_QUEUES:
+            n = self.config.max_queue_pairs - 1   # I/O queues available
+            return Status.SUCCESS, ((n - 1) << 16) | (n - 1)
+        return Status.INVALID_FIELD, 0
+
+    # ------------------------------------------------------------------- I/O
+
+    def _execute_io(self, sq: _ControllerSq, sqe: SubmissionEntry):
+        try:
+            opcode = IoOpcode(sqe.opcode)
+        except ValueError:
+            yield from self._complete(sq, sqe, Status.INVALID_OPCODE, 0)
+            return
+        ns = self.namespaces.get(sqe.nsid)
+        if ns is None:
+            yield from self._complete(sq, sqe, Status.INVALID_FIELD, 0)
+            return
+
+        if opcode == IoOpcode.FLUSH:
+            yield from self.media.access("flush", 0)
+            yield from self._complete(sq, sqe, Status.SUCCESS, 0)
+            return
+
+        nblocks = sqe.nlb + 1
+        nbytes = nblocks * ns.lba_bytes
+        try:
+            ns.check_range(sqe.slba, nblocks)
+        except NamespaceError:
+            yield from self._complete(sq, sqe, Status.LBA_OUT_OF_RANGE, 0)
+            return
+
+        if opcode == IoOpcode.WRITE_ZEROES:
+            # No data transfer: the controller zeroes the range itself.
+            ok = yield from self.media.access("write", nbytes)
+            if not ok:
+                yield from self._complete(sq, sqe, Status.WRITE_FAULT, 0)
+                return
+            ns.write_blocks(sqe.slba, bytes(nbytes))
+            yield from self._complete(sq, sqe, Status.SUCCESS, 0)
+            return
+
+        try:
+            segs = yield from resolve_prps(sqe.prp1, sqe.prp2, nbytes,
+                                           self._read_prp_page)
+        except PrpError:
+            yield from self._complete(sq, sqe, Status.INVALID_FIELD, 0)
+            return
+
+        if opcode == IoOpcode.READ:
+            # Media access, then DMA the data out to the host buffers.
+            ok = yield from self.media.access("read", nbytes)
+            if not ok:
+                yield from self._complete(sq, sqe,
+                                          Status.UNRECOVERED_READ_ERROR, 0)
+                return
+            data = ns.read_blocks(sqe.slba, nblocks)
+            offset = 0
+            for addr, size in segs:
+                # Posted writes: the clamp guarantees the subsequent CQE
+                # cannot overtake the data on the same flow.
+                self.fabric.post_write(self.node, self.host, addr,
+                                       data[offset: offset + size])
+                offset += size
+            yield from self._complete(sq, sqe, Status.SUCCESS, 0)
+        elif opcode == IoOpcode.COMPARE:
+            # Fetch the host's reference data, read the medium, compare.
+            parts = []
+            for addr, size in segs:
+                part = yield from self.dma_read(addr, size)
+                parts.append(part)
+            ok = yield from self.media.access("read", nbytes)
+            if not ok:
+                yield from self._complete(sq, sqe,
+                                          Status.UNRECOVERED_READ_ERROR, 0)
+                return
+            stored = ns.read_blocks(sqe.slba, nblocks)
+            status = (Status.SUCCESS if b"".join(parts) == stored
+                      else Status.COMPARE_FAILURE)
+            yield from self._complete(sq, sqe, status, 0)
+        else:  # WRITE
+            # Fetch data from host buffers (non-posted reads), then media.
+            parts = []
+            for addr, size in segs:
+                part = yield from self.dma_read(addr, size)
+                parts.append(part)
+            ok = yield from self.media.access("write", nbytes)
+            if not ok:
+                yield from self._complete(sq, sqe, Status.WRITE_FAULT, 0)
+                return
+            ns.write_blocks(sqe.slba, b"".join(parts))
+            yield from self._complete(sq, sqe, Status.SUCCESS, 0)
+
+    def _read_prp_page(self, addr: int):
+        data = yield from self.dma_read(addr, PAGE_SIZE)
+        return data
+
+    # ------------------------------------------------------------ completion
+
+    def _complete(self, sq: _ControllerSq, sqe: SubmissionEntry,
+                  status: int, result: int):
+        cq = self.cqs.get(sq.state.cqid)
+        if cq is None or not cq.active:
+            return  # queue torn down under us; drop, as hardware would
+        yield self.sim.timeout(self.config.completion_overhead_ns)
+        slot, phase = cq.state.produce_slot()
+        cqe = CompletionEntry(result=result, sq_head=sq.state.head,
+                              sq_id=sq.state.qid, cid=sqe.cid,
+                              status=int(status), phase=phase)
+        # CQE write is posted; we wait for delivery only to order the
+        # interrupt behind it (hardware achieves the same via PCIe
+        # ordering rules; the fabric clamp plus this wait are equivalent).
+        yield from self.fabric_write_wait(cq.state.slot_addr(slot),
+                                          cqe.pack())
+        self.commands_completed += 1
+        self.tracer.emit("nvme", "completed", qid=sq.state.qid,
+                         cid=sqe.cid, status=int(status))
+        if cq.interrupts_enabled and not self.regs.intms & (1 << cq.vector):
+            entry = self.msix[cq.vector]
+            if not entry.masked and entry.addr:
+                yield self.sim.timeout(
+                    self.config.interrupt_generation_ns)
+                self.fabric.post_write(
+                    self.node, self.host, entry.addr,
+                    entry.data.to_bytes(4, "little"))
+
+    # -------------------------------------------------------------- helpers
+
+    def fabric_write_wait(self, addr: int, data: bytes):
+        """Posted write, but the caller waits for delivery (ordering)."""
+        yield from self.fabric.write(self.node, self.host, addr, data)
+
+    @property
+    def io_queue_count(self) -> int:
+        return sum(1 for qid in self.sqs if qid != 0)

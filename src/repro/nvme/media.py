@@ -1,0 +1,129 @@
+"""Storage-medium timing models.
+
+:class:`OptaneMedia` models the Intel P4800X the paper benchmarks with:
+3D-XPoint has near-constant access time regardless of read/write mix and
+no garbage-collection pauses — the paper picked it because "its latency
+is very consistent".  :class:`NandMedia` is provided for ablations (what
+the comparison would look like on a TLC flash drive, with its wide
+read/program asymmetry).
+
+Parallelism is modelled as a pool of channels (a counted Resource): the
+per-command media time is constant, so the drive's max IOPS is
+``channels / access_time`` — calibrated to the P4800X's ~550-600 kIOPS.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..config import MediaConfig
+from ..sim import Resource, Simulator
+
+
+class Media:
+    """Base latency model; subclasses provide per-op timing draws."""
+
+    def __init__(self, sim: Simulator, config: MediaConfig,
+                 name: str = "media") -> None:
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self.channels = Resource(sim, capacity=config.channels)
+        self.reads = 0
+        self.writes = 0
+        self.media_errors = 0
+
+    def _draw(self, kind: str, nbytes: int) -> int:
+        raise NotImplementedError
+
+    def access(self, kind: str, nbytes: int) -> t.Generator:
+        """Generator: occupy a channel for the media access time.
+
+        ``kind`` is "read", "write" or "flush".  Returns True on
+        success, False on an (injected) uncorrectable media error — a
+        failed access still occupies the channel for its full duration,
+        as a real drive's internal retries would.
+        """
+        if kind not in ("read", "write", "flush"):
+            raise ValueError(f"unknown media access kind: {kind}")
+        req = self.channels.request()
+        yield req
+        try:
+            yield self.sim.timeout(self._draw(kind, nbytes))
+        finally:
+            self.channels.release(req)
+        if kind == "read":
+            self.reads += 1
+        elif kind == "write":
+            self.writes += 1
+        return not self._inject_error(kind)
+
+    def _inject_error(self, kind: str) -> bool:
+        rate = (self.config.read_error_rate if kind == "read"
+                else self.config.write_error_rate if kind == "write"
+                else 0.0)
+        if rate <= 0.0:
+            return False
+        if float(self.sim.rng.stream(f"{self.name}.errors").random()) \
+                < rate:
+            self.media_errors += 1
+            return True
+        return False
+
+
+class OptaneMedia(Media):
+    """3D-XPoint: consistent, symmetric, low latency."""
+
+    def _draw(self, kind: str, nbytes: int) -> int:
+        cfg = self.config
+        if kind == "flush":
+            # Optane has no volatile write cache to speak of.
+            return 500
+        if kind == "read":
+            base = self.sim.rng.lognormal_ns(
+                f"{self.name}.read", cfg.read_median_ns, cfg.sigma,
+                cap=cfg.read_cap_ns)
+        else:
+            base = self.sim.rng.lognormal_ns(
+                f"{self.name}.write", cfg.write_median_ns, cfg.sigma,
+                cap=cfg.write_cap_ns)
+        extra = max(0, nbytes - 4096)
+        return base + round(extra * cfg.per_byte_ns)
+
+
+#: NAND timing: reads ~70 us, programs ~600 us median, heavy-tailed.
+NAND_CONFIG = MediaConfig(
+    name="nand-tlc",
+    read_median_ns=68_000,
+    write_median_ns=420_000,
+    sigma=0.25,
+    read_cap_ns=400_000,
+    write_cap_ns=3_000_000,
+    per_byte_ns=1.0 / 1.8,
+    channels=16,
+    lba_bytes=512,
+    capacity_lbas=1_875_000_000,
+)
+
+
+class NandMedia(Media):
+    """TLC flash: asymmetric and jittery (for ablation experiments)."""
+
+    def __init__(self, sim: Simulator, config: MediaConfig = NAND_CONFIG,
+                 name: str = "nand") -> None:
+        super().__init__(sim, config, name)
+
+    def _draw(self, kind: str, nbytes: int) -> int:
+        cfg = self.config
+        if kind == "flush":
+            return 20_000
+        if kind == "read":
+            base = self.sim.rng.lognormal_ns(
+                f"{self.name}.read", cfg.read_median_ns, cfg.sigma,
+                cap=cfg.read_cap_ns)
+        else:
+            base = self.sim.rng.lognormal_ns(
+                f"{self.name}.write", cfg.write_median_ns, cfg.sigma,
+                cap=cfg.write_cap_ns)
+        extra = max(0, nbytes - 4096)
+        return base + round(extra * cfg.per_byte_ns)

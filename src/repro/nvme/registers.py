@@ -1,0 +1,104 @@
+"""Controller register file (BAR0 layout, NVMe 1.3 §3).
+
+Handles byte-accurate packing of the control registers so MMIO reads of
+any width at any offset see exactly what hardware would return.  Doorbell
+and MSI-X table regions are dispatched by the controller itself.
+"""
+
+from __future__ import annotations
+
+from .constants import (CSTS_RDY, DOORBELL_BASE, NVME_VERSION_1_3, REG_ACQ,
+                        REG_AQA, REG_ASQ, REG_CAP, REG_CC, REG_CSTS,
+                        REG_INTMC, REG_INTMS, REG_VS)
+
+#: MSI-X table location within BAR0 (our fixed layout; advertised via a
+#: simplified capability model rather than full config space).
+MSIX_TABLE_OFFSET = 0x2000
+MSIX_ENTRY_SIZE = 16
+MSIX_VECTORS = 32
+
+
+def build_cap(max_queue_entries: int, doorbell_stride: int,
+              timeout_500ms_units: int = 30) -> int:
+    """Assemble the CAP register value."""
+    if doorbell_stride != 4:
+        raise ValueError("model supports DSTRD=0 (4-byte stride) only")
+    mqes = max_queue_entries - 1
+    cap = mqes & 0xFFFF
+    cap |= 1 << 16                      # CQR: contiguous queues required
+    cap |= (timeout_500ms_units & 0xFF) << 24
+    cap |= 0 << 32                      # DSTRD = 0
+    cap |= 1 << 37                      # CSS: NVM command set
+    cap |= 0 << 48                      # MPSMIN = 4 KiB
+    cap |= 0 << 52                      # MPSMAX = 4 KiB
+    return cap
+
+
+class RegisterFile:
+    """The plain (non-doorbell) register state of a controller."""
+
+    def __init__(self, max_queue_entries: int, doorbell_stride: int) -> None:
+        self.cap = build_cap(max_queue_entries, doorbell_stride)
+        self.vs = NVME_VERSION_1_3
+        self.intms = 0
+        self.cc = 0
+        self.csts = 0
+        self.aqa = 0
+        self.asq = 0
+        self.acq = 0
+
+    # -- byte-level access -----------------------------------------------------
+
+    def _snapshot(self) -> bytes:
+        """Pack registers 0x00-0x37 as they appear in BAR0."""
+        buf = bytearray(0x38)
+        buf[REG_CAP:REG_CAP + 8] = self.cap.to_bytes(8, "little")
+        buf[REG_VS:REG_VS + 4] = self.vs.to_bytes(4, "little")
+        buf[REG_INTMS:REG_INTMS + 4] = self.intms.to_bytes(4, "little")
+        buf[REG_INTMC:REG_INTMC + 4] = b"\x00" * 4
+        buf[REG_CC:REG_CC + 4] = self.cc.to_bytes(4, "little")
+        buf[REG_CSTS:REG_CSTS + 4] = self.csts.to_bytes(4, "little")
+        buf[REG_AQA:REG_AQA + 4] = self.aqa.to_bytes(4, "little")
+        buf[REG_ASQ:REG_ASQ + 8] = self.asq.to_bytes(8, "little")
+        buf[REG_ACQ:REG_ACQ + 8] = self.acq.to_bytes(8, "little")
+        return bytes(buf)
+
+    def read(self, offset: int, length: int) -> bytes:
+        snap = self._snapshot()
+        if offset + length > len(snap):
+            # Reads beyond the defined registers return zeros (reserved).
+            pad = offset + length - len(snap)
+            return (snap + bytes(pad))[offset: offset + length]
+        return snap[offset: offset + length]
+
+    @property
+    def ready(self) -> bool:
+        return bool(self.csts & CSTS_RDY)
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.cc & 1)
+
+    # -- derived admin queue attributes ----------------------------------------
+
+    @property
+    def admin_sq_entries(self) -> int:
+        return (self.aqa & 0xFFF) + 1
+
+    @property
+    def admin_cq_entries(self) -> int:
+        return ((self.aqa >> 16) & 0xFFF) + 1
+
+
+def doorbell_index(offset: int) -> tuple[int, bool]:
+    """Map a BAR0 offset in the doorbell region to (qid, is_cq_doorbell)."""
+    index = (offset - DOORBELL_BASE) // 4
+    return index // 2, bool(index % 2)
+
+
+def sq_doorbell_offset(qid: int) -> int:
+    return DOORBELL_BASE + (2 * qid) * 4
+
+
+def cq_doorbell_offset(qid: int) -> int:
+    return DOORBELL_BASE + (2 * qid + 1) * 4

@@ -1,0 +1,9 @@
+"""NVMe-oF over RDMA: capsule formats, SPDK-like polling target and the
+kernel-like interrupt-driven initiator (the paper's comparison baseline)."""
+
+from .capsules import CommandCapsule, ResponseCapsule
+from .initiator import NvmeofInitiator
+from .target import SpdkTarget
+
+__all__ = ["CommandCapsule", "ResponseCapsule", "SpdkTarget",
+           "NvmeofInitiator"]

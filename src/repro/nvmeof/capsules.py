@@ -1,0 +1,84 @@
+"""NVMe-oF capsule formats (command and response).
+
+A command capsule is the fabric-borne equivalent of an SQE: the 64-byte
+NVMe command plus a transport header carrying either in-capsule data
+(writes up to ``in_capsule_data_size``) or the initiator-side buffer
+descriptor (address + rkey) the target should RDMA to.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+from ..nvme import CompletionEntry, SubmissionEntry
+
+_CMD_HEADER = struct.Struct("<BBHIQI")   # type, flags, inline_len(16),
+                                         # reserved, buffer_addr, rkey
+CMD_HEADER_SIZE = _CMD_HEADER.size + 44  # pad to a 64-byte header
+CAPSULE_TYPE_COMMAND = 0x01
+CAPSULE_TYPE_RESPONSE = 0x02
+
+
+@dataclasses.dataclass
+class CommandCapsule:
+    sqe: SubmissionEntry
+    inline_data: bytes = b""
+    buffer_addr: int = 0
+    rkey: int = 0
+
+    def pack(self) -> bytes:
+        if len(self.inline_data) > 0xFFFF:
+            raise ValueError("inline data too large for capsule header")
+        header = _CMD_HEADER.pack(CAPSULE_TYPE_COMMAND, 0,
+                                  len(self.inline_data), 0,
+                                  self.buffer_addr, self.rkey)
+        header = header.ljust(CMD_HEADER_SIZE, b"\x00")
+        return header + self.sqe.pack() + self.inline_data
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "CommandCapsule":
+        if len(data) < CMD_HEADER_SIZE + 64:
+            raise ValueError(f"capsule too short: {len(data)}")
+        ctype, _flags, inline_len, _rsvd, buffer_addr, rkey = \
+            _CMD_HEADER.unpack(data[:_CMD_HEADER.size])
+        if ctype != CAPSULE_TYPE_COMMAND:
+            raise ValueError(f"not a command capsule: type={ctype}")
+        sqe = SubmissionEntry.unpack(
+            data[CMD_HEADER_SIZE: CMD_HEADER_SIZE + 64])
+        inline = data[CMD_HEADER_SIZE + 64:
+                      CMD_HEADER_SIZE + 64 + inline_len]
+        if len(inline) != inline_len:
+            raise ValueError("truncated in-capsule data")
+        return cls(sqe=sqe, inline_data=bytes(inline),
+                   buffer_addr=buffer_addr, rkey=rkey)
+
+    @property
+    def wire_size(self) -> int:
+        return CMD_HEADER_SIZE + 64 + len(self.inline_data)
+
+
+_RSP_HEADER = struct.Struct("<BB14x")
+
+
+@dataclasses.dataclass
+class ResponseCapsule:
+    cqe: CompletionEntry
+
+    def pack(self) -> bytes:
+        return _RSP_HEADER.pack(CAPSULE_TYPE_RESPONSE, 0) + self.cqe.pack()
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "ResponseCapsule":
+        if len(data) < _RSP_HEADER.size + 16:
+            raise ValueError(f"response capsule too short: {len(data)}")
+        ctype = data[0]
+        if ctype != CAPSULE_TYPE_RESPONSE:
+            raise ValueError(f"not a response capsule: type={ctype}")
+        cqe = CompletionEntry.unpack(
+            data[_RSP_HEADER.size: _RSP_HEADER.size + 16])
+        return cls(cqe=cqe)
+
+    @property
+    def wire_size(self) -> int:
+        return _RSP_HEADER.size + 16

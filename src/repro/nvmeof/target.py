@@ -1,0 +1,288 @@
+"""SPDK-like NVMe-oF target (paper Fig. 9a, right side).
+
+A userspace, polling storage target on the device's host:
+
+* owns the local NVMe controller through its own userspace driver
+  (admin bring-up + one I/O queue pair per fabric connection);
+* binds each connection's receive queue to that NVMe SQ: command
+  capsules land in target memory by RDMA, the poller decodes them and
+  submits to the controller with minimal processing — "the target driver
+  can start I/O operations as soon as commands are enqueued";
+* completions flow back as RDMA_WRITE (read data) + SEND (response
+  capsule), again discovered by polling — SPDK never takes interrupts.
+
+The target's costs are the paper's point: even with a polling,
+zero-interrupt design, *software remains in the I/O path*, adding the
+microseconds the PCIe/NTB driver avoids.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from ..config import SimulationConfig
+from ..nvme import (CompletionEntry, CompletionQueueState, SubmissionEntry,
+                    SubmissionQueueState, cq_doorbell_offset,
+                    sq_doorbell_offset)
+from ..pcie import Fabric, Host
+from ..rdma import (CompletionQueue, ProtectionDomain, QueuePair, RdmaNic,
+                    RecvWR, SendWR, WrOpcode)
+from ..sim import Event, Simulator
+from ..driver.adminq import AdminQueues
+from ..driver.prputil import prps_for_contiguous
+from .capsules import CommandCapsule, ResponseCapsule
+
+#: data buffer per outstanding command: one PRP-list page + 128 KiB.
+SLOT_DATA_BYTES = 128 * 1024
+SLOT_BYTES = 4096 + SLOT_DATA_BYTES
+
+
+@dataclasses.dataclass
+class _Connection:
+    qp: QueuePair
+    nvme_sq: SubmissionQueueState
+    nvme_cq: CompletionQueueState
+    slots: list[int]                      # free slot base addresses
+    inflight: dict[int, dict]             # cid -> context
+    next_cid: int = 0
+
+
+class SpdkTarget:
+    """Polling NVMe-oF target bound to one local NVMe controller."""
+
+    QUEUE_ENTRIES = 128
+
+    def __init__(self, sim: Simulator, fabric: Fabric, host: Host,
+                 nvme_bar: int, nic: RdmaNic,
+                 config: SimulationConfig) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.host = host
+        self.nvme_bar = nvme_bar
+        self.nic = nic
+        self.config = config
+        self.admin = AdminQueues(sim, fabric, host, nvme_bar, config)
+        self.pd = ProtectionDomain(host)
+        self.connections: list[_Connection] = []
+        self.lba_bytes = 512
+        self.capacity_lbas = 0
+        self._next_qid = 1
+        self._started = False
+        self.commands_served = 0
+
+    # -- bring-up ------------------------------------------------------------
+
+    def start(self) -> t.Generator:
+        yield from self.admin.enable_controller()
+        ident = yield from self.admin.identify_namespace(1)
+        self.lba_bytes = ident.lba_bytes
+        self.capacity_lbas = ident.nsze
+        self._started = True
+
+    # -- connection management ---------------------------------------------------
+
+    def add_connection(self, queue_depth: int = 32) -> t.Generator:
+        """Create an NVMe queue pair + fabric QP for one initiator.
+
+        Returns the target-side :class:`QueuePair` the initiator must
+        connect to.
+        """
+        assert self._started, "target not started"
+        qid = self._next_qid
+        self._next_qid += 1
+
+        cq_mem = self.host.alloc_dma(self.QUEUE_ENTRIES * 16)
+        sq_mem = self.host.alloc_dma(self.QUEUE_ENTRIES * 64)
+        yield from self.admin.create_io_cq(qid, self.QUEUE_ENTRIES, cq_mem)
+        yield from self.admin.create_io_sq(qid, self.QUEUE_ENTRIES, sq_mem,
+                                           cqid=qid)
+
+        send_cq = CompletionQueue(self.sim, f"tgt{qid}-send")
+        recv_cq = CompletionQueue(self.sim, f"tgt{qid}-recv")
+        qp = QueuePair(self.nic, self.pd, send_cq, recv_cq,
+                       name=f"tgt-qp{qid}")
+
+        # Receive buffers for command capsules (header+SQE+inline 4 KiB).
+        capsule_bytes = 8192
+        for i in range(queue_depth * 2):
+            addr = self.host.alloc_dma(capsule_bytes)
+            self.pd.register(addr, capsule_bytes)
+            qp.post_recv(RecvWR(wr_id=addr, addr=addr,
+                                length=capsule_bytes))
+
+        # Data slots the NVMe controller DMAs to/from.
+        slots = []
+        for i in range(queue_depth):
+            slots.append(self.host.alloc_dma(SLOT_BYTES))
+
+        conn = _Connection(
+            qp=qp,
+            nvme_sq=SubmissionQueueState(qid=qid, base_addr=sq_mem,
+                                         entries=self.QUEUE_ENTRIES,
+                                         cqid=qid),
+            nvme_cq=CompletionQueueState(qid=qid, base_addr=cq_mem,
+                                         entries=self.QUEUE_ENTRIES),
+            slots=slots, inflight={})
+        self.connections.append(conn)
+        self.sim.process(self._recv_poller(conn))
+        self.sim.process(self._nvme_poller(conn))
+        self.sim.process(self._send_poller(conn))
+        return qp
+
+    def _send_poller(self, conn: _Connection) -> t.Generator:
+        """Reap send-side completions; RDMA_READ pulls unblock waiting
+        write capsules, other completions are bookkeeping only."""
+        while True:
+            completions = conn.qp.send_cq.poll()
+            if not completions:
+                yield conn.qp.send_cq.signal.wait()
+                continue
+            for wc in completions:
+                if 0x1_0000 <= wc.wr_id < 0x2_0000:   # pull finished
+                    waiter = conn.inflight.pop(
+                        ("pull", wc.wr_id - 0x1_0000), None)
+                    if waiter is not None:
+                        waiter.succeed(wc)
+
+    # -- fabric-side poller ---------------------------------------------------------
+
+    def _recv_poller(self, conn: _Connection) -> t.Generator:
+        """Busy-poll the receive CQ for command capsules."""
+        cfg = self.config.nvmeof
+        while True:
+            completions = conn.qp.recv_cq.poll()
+            if not completions:
+                yield conn.qp.recv_cq.signal.wait()
+                # Poll-granularity: SPDK notices on its next spin.
+                delay = self.sim.rng.uniform_ns(
+                    "spdk-recv-poll", 0, cfg.target_poll_interval_ns)
+                if delay:
+                    yield self.sim.timeout(delay)
+                continue
+            for wc in completions:
+                yield self.sim.timeout(self.config.rdma.cq_poll_ns)
+                yield from self._handle_capsule(conn, wc.wr_id,
+                                                wc.byte_len)
+
+    def _handle_capsule(self, conn: _Connection, buf_addr: int,
+                        length: int) -> t.Generator:
+        cfg = self.config.nvmeof
+        raw = self.host.memory.read(buf_addr, length)
+        capsule = CommandCapsule.unpack(raw)
+        yield self.sim.timeout(cfg.target_process_ns)
+
+        if not conn.slots:
+            # No free data slot: initiator exceeded the negotiated depth.
+            yield from self._respond(conn, CompletionEntry(
+                cid=capsule.sqe.cid, status=0x06, phase=0), None)
+            return
+        slot = conn.slots.pop()
+        sqe = capsule.sqe
+        nbytes = (sqe.nlb + 1) * self.lba_bytes if sqe.opcode != 0 else 0
+        data_addr = slot + 4096
+
+        if sqe.opcode == 0x01 and nbytes:        # WRITE: stage the data
+            if capsule.inline_data:
+                self.host.memory.write(data_addr, capsule.inline_data)
+            else:
+                # Pull from the initiator with RDMA READ.
+                pull_done = Event(self.sim)
+                conn.inflight[("pull", sqe.cid)] = pull_done
+                conn.qp.post_send(SendWR(
+                    wr_id=_pull_id(sqe.cid), opcode=WrOpcode.RDMA_READ,
+                    local_addr=data_addr, length=nbytes,
+                    remote_addr=capsule.buffer_addr, rkey=capsule.rkey))
+                yield pull_done
+
+        if nbytes:
+            prp1, prp2 = prps_for_contiguous(
+                data_addr, nbytes, slot,
+                lambda blob: self.host.memory.write(slot, blob))
+            sqe.prp1, sqe.prp2 = prp1, prp2
+
+        conn.inflight[sqe.cid] = {
+            "slot": slot, "capsule": capsule, "nbytes": nbytes,
+            "opcode": sqe.opcode,
+        }
+        # Submit on the bound NVMe SQ (userspace driver: local stores +
+        # a posted doorbell; cost inside target_process_ns).
+        sq_slot = conn.nvme_sq.advance_tail()
+        self.host.memory.write(conn.nvme_sq.slot_addr(sq_slot), sqe.pack())
+        self.fabric.post_write(
+            self.host.rc, self.host,
+            self.nvme_bar + sq_doorbell_offset(conn.nvme_sq.qid),
+            conn.nvme_sq.tail.to_bytes(4, "little"))
+        # Re-post the capsule buffer for the next command.
+        conn.qp.post_recv(RecvWR(wr_id=buf_addr, addr=buf_addr,
+                                 length=8192))
+
+    # -- NVMe-side poller ---------------------------------------------------------------
+
+    def _nvme_poller(self, conn: _Connection) -> t.Generator:
+        """Busy-poll the NVMe CQ; ship completions back to the initiator."""
+        cfg = self.config.nvmeof
+        mem = self.host.memory
+        base = conn.nvme_cq.base_addr
+        wp = mem.watch(base, conn.nvme_cq.entries * 16)
+        try:
+            while True:
+                raw = mem.read(conn.nvme_cq.slot_addr(conn.nvme_cq.head),
+                               16)
+                cqe = CompletionEntry.unpack(raw)
+                if cqe.phase != conn.nvme_cq.consumer_phase():
+                    yield wp.signal.wait()
+                    delay = self.sim.rng.uniform_ns(
+                        "spdk-nvme-poll", 0, cfg.target_poll_interval_ns)
+                    if delay:
+                        yield self.sim.timeout(delay)
+                    continue
+                conn.nvme_cq.consume()
+                conn.nvme_sq.head = cqe.sq_head
+                self.fabric.post_write(
+                    self.host.rc, self.host,
+                    self.nvme_bar + cq_doorbell_offset(conn.nvme_cq.qid),
+                    conn.nvme_cq.head.to_bytes(4, "little"))
+                yield from self._complete_io(conn, cqe)
+        finally:
+            mem.unwatch(wp)
+
+    def _complete_io(self, conn: _Connection,
+                     cqe: CompletionEntry) -> t.Generator:
+        cfg = self.config.nvmeof
+        ctx = conn.inflight.pop(cqe.cid, None)
+        if ctx is None:
+            return
+        yield self.sim.timeout(cfg.target_complete_ns)
+        capsule: CommandCapsule = ctx["capsule"]
+        if ctx["opcode"] == 0x02 and cqe.ok and ctx["nbytes"]:
+            # READ: push the data to the initiator's buffer, then the
+            # response capsule; RC ordering keeps data ahead of it.
+            conn.qp.post_send(SendWR(
+                wr_id=_data_id(cqe.cid), opcode=WrOpcode.RDMA_WRITE,
+                local_addr=ctx["slot"] + 4096, length=ctx["nbytes"],
+                remote_addr=capsule.buffer_addr, rkey=capsule.rkey))
+        yield from self._respond(conn, cqe, ctx)
+        self.commands_served += 1
+
+    def _respond(self, conn: _Connection, cqe: CompletionEntry,
+                 ctx: dict | None) -> t.Generator:
+        rsp = ResponseCapsule(cqe)
+        conn.qp.post_send(SendWR(
+            wr_id=_rsp_id(cqe.cid), opcode=WrOpcode.SEND,
+            inline_data=rsp.pack(), length=rsp.wire_size))
+        if ctx is not None:
+            conn.slots.append(ctx["slot"])
+        yield self.sim.timeout(0)
+
+
+def _pull_id(cid: int) -> int:
+    return 0x1_0000 + cid
+
+
+def _data_id(cid: int) -> int:
+    return 0x2_0000 + cid
+
+
+def _rsp_id(cid: int) -> int:
+    return 0x3_0000 + cid

@@ -1,0 +1,236 @@
+"""The PCIe transaction engine.
+
+Routes memory reads and writes from an initiator node to their target —
+DRAM, a device BAR, or across NTB windows into another host — charging:
+
+* per-switch-chip forwarding latency (100-150 ns/chip/direction,
+  paper Sec. VI) and root-complex traversals;
+* NTB LUT translation per window crossing;
+* link occupancy: every link on the path is held for the transaction's
+  serialization time (cut-through pipe), giving natural FIFO queueing
+  under contention;
+* target service time (DRAM access or device MMIO handling).
+
+**Posted vs non-posted** (the crux of the paper's Fig. 8 argument):
+writes are *posted* — they complete at the initiator immediately and are
+delivered after a one-way traversal; reads are *non-posted* — the
+initiator waits a full round trip plus target service.  PCIe ordering of
+posted writes on the same initiator->destination flow is enforced with a
+monotonic-arrival clamp, so an SQE write always lands before the doorbell
+write that follows it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from ..config import PcieConfig
+from ..memory import HostMemory
+from ..sim import NULL_TRACER, Process, Simulator
+from ..units import serialize_ns
+from .address import AddressError
+from .device import Bar
+from .ntb import NtbFunction
+from .tlp import completion_cost, read_request_cost, write_cost
+from .topology import Cluster, Host, Node
+
+#: Safety bound on NTB window chains (window -> window -> ...).
+MAX_NTB_CROSSINGS = 3
+
+
+@dataclasses.dataclass(frozen=True)
+class Resolution:
+    """Outcome of walking an address through NTB windows to its target."""
+
+    kind: str                    # "mem" | "mmio"
+    host: Host                   # host whose space finally contains it
+    node: Node                   # topology node of the target
+    crossings: int               # NTB windows traversed
+    memory: HostMemory | None = None
+    addr: int = 0                # final physical address (mem) …
+    bar: Bar | None = None
+    offset: int = 0              # … or offset within the BAR (mmio)
+
+
+class Fabric:
+    """Transaction router over a :class:`~repro.pcie.topology.Cluster`."""
+
+    def __init__(self, sim: Simulator, cluster: Cluster,
+                 config: PcieConfig, tracer=NULL_TRACER) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.config = config
+        self.tracer = tracer
+        # Posted-ordering clamp: (initiator node, final host) -> last
+        # arrival time of a posted write on that flow.
+        self._posted_clamp: dict[tuple[Node, Host], int] = {}
+        #: accounting
+        self.posted_writes = 0
+        self.reads = 0
+
+    # -- address resolution ----------------------------------------------------
+
+    def resolve(self, host: Host, addr: int, length: int) -> Resolution:
+        """Walk ``addr`` in ``host``'s space through NTB windows until it
+        lands on DRAM or a device BAR."""
+        crossings = 0
+        while True:
+            mapping = host.addr_map.lookup(addr, length)
+            target = mapping.target
+            if isinstance(target, HostMemory):
+                return Resolution(kind="mem", host=host, node=host.rc,
+                                  crossings=crossings, memory=target,
+                                  addr=addr)
+            if isinstance(target, Bar):
+                fn = target.function
+                if isinstance(fn, NtbFunction):
+                    if crossings >= MAX_NTB_CROSSINGS:
+                        raise AddressError(
+                            f"NTB window chain longer than "
+                            f"{MAX_NTB_CROSSINGS} at {addr:#x}")
+                    host, addr = fn.translate(target, addr, length)
+                    crossings += 1
+                    continue
+                assert fn.node is not None and fn.host is not None
+                return Resolution(kind="mmio", host=fn.host, node=fn.node,
+                                  crossings=crossings, bar=target,
+                                  offset=target.offset_of(addr))
+            raise AddressError(
+                f"unroutable target {target!r} at {addr:#x}")
+
+    # -- link occupancy -----------------------------------------------------------
+
+    def _occupy(self, path: tuple[Node, ...], wire_bytes: int):
+        """Occupy the links on the path for the transfer (cut-through).
+
+        Links are acquired in a canonical global order (deadlock-free);
+        each link is then held for *its own* serialization time — a
+        slow edge link (e.g. the device's Gen3 x4) must not inflate the
+        occupancy of faster shared links, or unrelated flows through a
+        cluster switch would be throttled to the slowest device's rate.
+        The caller's latency charge is the slowest stage (the pipe's
+        fill time).
+        """
+        trips = self.cluster.links_on(path)
+        if not trips or wire_bytes <= 0:
+            return
+        pairs = [(link.resource(a, b), link) for link, a, b in trips]
+        pairs.sort(key=lambda p: p[0].order)
+        acquired = []
+        for resource, _link in pairs:
+            req = resource.request()
+            acquired.append((resource, req))
+            yield req
+        max_hold = 0
+        for (resource, req), (_res, link) in zip(acquired, pairs):
+            hold = serialize_ns(wire_bytes, link.bandwidth)
+            max_hold = max(max_hold, hold)
+            release_at = self.sim.timeout(hold)
+            assert release_at.callbacks is not None
+            release_at.callbacks.append(
+                lambda _ev, r=resource, q=req: r.release(q))
+        yield self.sim.timeout(max_hold)
+
+    # -- transactions ------------------------------------------------------------
+
+    def write(self, initiator: Node, host: Host, addr: int,
+              data: bytes | bytearray | memoryview):
+        """Posted memory write (generator; returns at *delivery* time).
+
+        Callers that do not need to observe delivery should use
+        :meth:`post_write`, which spawns this as a detached process —
+        that is the hardware-accurate behaviour for CPU stores and
+        device DMA writes.
+        """
+        data = bytes(data)
+        res = self.resolve(host, addr, len(data))
+        path = self.cluster.path(initiator, res.node)
+        self.posted_writes += 1
+
+        yield from self._occupy(path, write_cost(len(data), self.config).bytes_on_wire)
+        latency = self.cluster.hop_latency(path)
+        latency += res.crossings * self.config.ntb_translation_ns
+        if res.kind == "mem":
+            latency += self.config.memory_write_latency_ns
+        else:
+            latency += self.config.device_mmio_write_ns
+
+        arrival = self.sim.now + latency
+        key = (initiator, res.host)
+        prior = self._posted_clamp.get(key, 0)
+        if arrival < prior:
+            arrival = prior  # posted ordering: never pass an earlier write
+        self._posted_clamp[key] = arrival
+        yield self.sim.timeout(arrival - self.sim.now)
+
+        if res.kind == "mem":
+            assert res.memory is not None
+            res.memory.write(res.addr, data)
+        else:
+            assert res.bar is not None
+            res.bar.function.mmio_write(res.bar, res.offset, data)
+        self.tracer.emit("pcie", "write-delivered", addr=addr,
+                         final=res.addr if res.kind == "mem" else res.offset,
+                         size=len(data), crossings=res.crossings)
+
+    def post_write(self, initiator: Node, host: Host, addr: int,
+                   data: bytes | bytearray | memoryview) -> Process:
+        """Fire-and-forget posted write (returns the delivery process)."""
+        return self.sim.process(self.write(initiator, host, addr, data))
+
+    def read(self, initiator: Node, host: Host, addr: int, length: int):
+        """Non-posted memory read (generator; returns the data bytes).
+
+        Charges the full round trip: request leg, target service,
+        completion leg with data serialization — "the longer the path
+        between a device and the memory it reads from, the higher the
+        request-completion latency becomes" (paper Sec. V).
+        """
+        if length <= 0:
+            raise ValueError("read length must be positive")
+        res = self.resolve(host, addr, length)
+        path = self.cluster.path(initiator, res.node)
+        self.reads += 1
+
+        # Request leg (headers only).
+        yield from self._occupy(
+            path, read_request_cost(length, self.config).bytes_on_wire)
+        req_latency = self.cluster.hop_latency(path)
+        req_latency += res.crossings * self.config.ntb_translation_ns
+        yield self.sim.timeout(req_latency)
+
+        # Target service + data fetch.
+        if res.kind == "mem":
+            assert res.memory is not None
+            yield self.sim.timeout(self.config.memory_read_latency_ns)
+            data = res.memory.read(res.addr, length)
+        else:
+            assert res.bar is not None
+            yield self.sim.timeout(self.config.device_mmio_read_ns)
+            data = res.bar.function.mmio_read(res.bar, res.offset, length)
+            if len(data) != length:
+                raise AddressError(
+                    f"{res.bar.function.name} returned {len(data)} bytes "
+                    f"for a {length}-byte read")
+
+        # Completion leg (data flows back).
+        rpath = tuple(reversed(path))
+        yield from self._occupy(
+            rpath, completion_cost(length, self.config).bytes_on_wire)
+        cpl_latency = self.cluster.hop_latency(rpath)
+        yield self.sim.timeout(cpl_latency)
+        self.tracer.emit("pcie", "read-complete", addr=addr, size=length,
+                         crossings=res.crossings)
+        return data
+
+    # -- conveniences -----------------------------------------------------------
+
+    def read_u32(self, initiator: Node, host: Host, addr: int):
+        data = yield from self.read(initiator, host, addr, 4)
+        return int.from_bytes(data, "little")
+
+    def write_u32(self, initiator: Node, host: Host, addr: int,
+                  value: int) -> Process:
+        return self.post_write(initiator, host, addr,
+                               (value & 0xFFFF_FFFF).to_bytes(4, "little"))

@@ -1,0 +1,62 @@
+"""Transaction-layer packet accounting.
+
+We do not simulate individual TLPs as events (a 128 KiB DMA would be 512
+packets); instead each *transaction* carries enough accounting to compute
+its wire footprint exactly: payload chunked at the max-payload-size (for
+writes/completions) or max-read-request-size (for read requests), plus
+per-packet header overhead.  The paper's latency story depends on the
+*category* of each transaction:
+
+* **posted** (memory writes): fire-and-forget, one-way latency;
+* **non-posted** (memory reads): a request travels to the completer and
+  completions carry the data back — a full round trip, which is why the
+  command-fetch path dominates remote-queue placement (paper Fig. 8).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+
+from ..config import PcieConfig
+
+
+class TlpKind(enum.Enum):
+    MEM_WRITE = "MWr"       # posted
+    MEM_READ = "MRd"        # non-posted (expects CplD)
+    COMPLETION = "CplD"     # completion with data
+
+
+@dataclasses.dataclass(frozen=True)
+class WireCost:
+    """Bytes on the wire and packet count for one transaction leg."""
+
+    packets: int
+    bytes_on_wire: int
+
+
+def write_cost(payload: int, cfg: PcieConfig) -> WireCost:
+    """Wire footprint of a posted-write burst of ``payload`` bytes."""
+    if payload < 0:
+        raise ValueError("negative payload")
+    if payload == 0:
+        return WireCost(1, cfg.tlp_header_bytes)
+    packets = math.ceil(payload / cfg.max_payload_size)
+    return WireCost(packets, payload + packets * cfg.tlp_header_bytes)
+
+
+def read_request_cost(length: int, cfg: PcieConfig) -> WireCost:
+    """Wire footprint of the header-only MRd request leg."""
+    if length <= 0:
+        raise ValueError("read length must be positive")
+    packets = math.ceil(length / cfg.max_read_request_size)
+    return WireCost(packets, packets * cfg.tlp_header_bytes)
+
+
+def completion_cost(length: int, cfg: PcieConfig) -> WireCost:
+    """Wire footprint of the data-bearing completion leg of a read."""
+    if length <= 0:
+        raise ValueError("read length must be positive")
+    packets = math.ceil(length / cfg.max_payload_size)
+    return WireCost(packets, length + packets * cfg.cpl_header_bytes)

@@ -1,0 +1,178 @@
+"""Verbs-like RDMA primitives: memory regions, completion queues, work
+requests and reliable-connected queue pairs.
+
+The model keeps InfiniBand's structural essentials — the ones NVMe-oF's
+design exploits (paper Sec. II):
+
+* work queues live in host memory and are written by software without
+  kernel involvement;
+* SEND consumes a receiver-posted buffer and generates a receive
+  completion (this is how command capsules reach the target's bound SQ);
+* RDMA_WRITE/RDMA_READ move data one-sided with no remote completion;
+* completions are reaped by *polling* CQs.
+
+Latency/bandwidth accounting happens in :mod:`repro.rdma.nic`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing as t
+
+from ..pcie import Host
+from ..sim import Signal, Simulator
+
+
+class RdmaError(Exception):
+    pass
+
+
+class WrOpcode(enum.Enum):
+    SEND = "send"
+    RDMA_WRITE = "rdma-write"
+    RDMA_READ = "rdma-read"
+
+
+class WcStatus(enum.Enum):
+    SUCCESS = 0
+    LOCAL_ERROR = 1
+    REMOTE_ACCESS_ERROR = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryRegion:
+    """A registered, DMA-able region of host memory."""
+
+    host: Host
+    addr: int
+    length: int
+    rkey: int
+
+    def check(self, addr: int, length: int) -> None:
+        if addr < self.addr or addr + length > self.addr + self.length:
+            raise RdmaError(
+                f"access [{addr:#x},+{length}) outside MR "
+                f"[{self.addr:#x},+{self.length})")
+
+
+@dataclasses.dataclass
+class WorkCompletion:
+    wr_id: int
+    opcode: WrOpcode | None
+    status: WcStatus
+    byte_len: int = 0
+    is_recv: bool = False
+
+
+@dataclasses.dataclass
+class SendWR:
+    wr_id: int
+    opcode: WrOpcode
+    local_addr: int = 0
+    length: int = 0
+    remote_addr: int = 0
+    rkey: int = 0
+    inline_data: bytes | None = None   # small payloads skip the DMA fetch
+
+
+@dataclasses.dataclass
+class RecvWR:
+    wr_id: int
+    addr: int
+    length: int
+
+
+class CompletionQueue:
+    """Polled completion queue."""
+
+    def __init__(self, sim: Simulator, name: str = "cq") -> None:
+        self.sim = sim
+        self.name = name
+        self._entries: list[WorkCompletion] = []
+        self.signal = Signal(sim)
+
+    def push(self, wc: WorkCompletion) -> None:
+        self._entries.append(wc)
+        self.signal.fire()
+
+    def poll(self, max_entries: int = 16) -> list[WorkCompletion]:
+        """Reap up to ``max_entries`` completions (non-blocking)."""
+        out = self._entries[:max_entries]
+        del self._entries[:max_entries]
+        return out
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class ProtectionDomain:
+    """Registers memory regions and hands out rkeys."""
+
+    def __init__(self, host: Host) -> None:
+        self.host = host
+        self._next_rkey = 0x1000
+        self._regions: dict[int, MemoryRegion] = {}
+
+    def register(self, addr: int, length: int) -> MemoryRegion:
+        if length <= 0:
+            raise RdmaError("MR length must be positive")
+        if not self.host.memory.contains(addr, length):
+            raise RdmaError("MR outside host DRAM")
+        mr = MemoryRegion(self.host, addr, length, self._next_rkey)
+        self._regions[self._next_rkey] = mr
+        self._next_rkey += 1
+        return mr
+
+    def lookup(self, rkey: int) -> MemoryRegion:
+        try:
+            return self._regions[rkey]
+        except KeyError:
+            raise RdmaError(f"unknown rkey {rkey:#x}") from None
+
+
+class QueuePair:
+    """A reliable-connected QP bound to a NIC."""
+
+    def __init__(self, nic, pd: ProtectionDomain, send_cq: CompletionQueue,
+                 recv_cq: CompletionQueue, name: str = "qp") -> None:
+        self.nic = nic
+        self.pd = pd
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.name = name
+        self.peer: "QueuePair | None" = None
+        self.recv_queue: list[RecvWR] = []
+
+    def connect(self, peer: "QueuePair") -> None:
+        if self.peer is not None or peer.peer is not None:
+            raise RdmaError("QP already connected")
+        self.peer = peer
+        peer.peer = self
+
+    def post_recv(self, wr: RecvWR) -> None:
+        """Post a receive buffer (no simulated cost: done off-path)."""
+        self.recv_queue.append(wr)
+
+    def post_send(self, wr: SendWR) -> None:
+        """Hand a send-side WQE to the NIC (the NIC engine charges the
+        doorbell/processing costs and runs the wire protocol)."""
+        if self.peer is None:
+            raise RdmaError(f"{self.name}: QP not connected")
+        if wr.opcode is WrOpcode.SEND and wr.inline_data is None \
+                and wr.length > 0:
+            self.pd.lookup_local(wr)   # validates below
+        self.nic.enqueue(self, wr)
+
+
+# Small helper used above: validate a local buffer belongs to *some* MR.
+def _lookup_local(pd: ProtectionDomain, wr: SendWR) -> None:
+    for mr in pd._regions.values():
+        if wr.local_addr >= mr.addr and \
+                wr.local_addr + wr.length <= mr.addr + mr.length:
+            return
+    raise RdmaError(
+        f"local buffer [{wr.local_addr:#x},+{wr.length}) not registered")
+
+
+ProtectionDomain.lookup_local = _lookup_local  # type: ignore[attr-defined]

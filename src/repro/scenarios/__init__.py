@@ -1,0 +1,13 @@
+"""Prebuilt testbeds and benchmark scenarios (the paper's Fig. 9)."""
+
+from .builders import (FIG10_SCENARIOS, MultiHostScenario, Scenario,
+                       build_fig10_scenario, local_linux, multihost,
+                       nvmeof_remote, ours_local, ours_remote)
+from .testbed import LocalTestbed, PcieTestbed, RdmaTestbed
+
+__all__ = [
+    "PcieTestbed", "LocalTestbed", "RdmaTestbed",
+    "Scenario", "MultiHostScenario", "FIG10_SCENARIOS",
+    "build_fig10_scenario", "local_linux", "nvmeof_remote",
+    "ours_local", "ours_remote", "multihost",
+]

@@ -1,0 +1,160 @@
+"""Prebuilt benchmark scenarios — the paper's Fig. 9 configurations.
+
+Each builder returns a :class:`Scenario` holding a live simulator and a
+started block device, ready for :func:`repro.workloads.run_fio`:
+
+* ``local_linux``      — stock Linux driver, local NVMe (Fig. 9a left);
+* ``nvmeof_remote``    — kernel initiator -> 100 Gb/s RDMA -> SPDK
+  target -> NVMe (Fig. 9a right);
+* ``ours_local``       — distributed driver, client in the device's own
+  host (Fig. 9b left);
+* ``ours_remote``      — distributed driver, client one NTB hop away
+  (Fig. 9b right);
+* ``multihost``        — N clients sharing one controller (Sec. VI's
+  31-host claim).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from ..config import SimulationConfig
+from ..driver import (BlockDevice, DistributedNvmeClient, NvmeManager,
+                      StockNvmeDriver)
+from ..nvmeof import NvmeofInitiator, SpdkTarget
+from ..sim import Simulator
+from .testbed import LocalTestbed, PcieTestbed, RdmaTestbed
+
+#: The four Fig. 10 scenario names, in the paper's presentation order.
+FIG10_SCENARIOS = ("local-linux", "nvmeof-remote", "ours-local",
+                   "ours-remote")
+
+
+@dataclasses.dataclass
+class Scenario:
+    """A live, started benchmark configuration."""
+
+    label: str
+    sim: Simulator
+    device: BlockDevice
+    testbed: t.Any
+    extras: dict = dataclasses.field(default_factory=dict)
+
+
+def local_linux(config: SimulationConfig | None = None,
+                seed: int | None = None,
+                queue_depth: int = 64) -> Scenario:
+    """Stock Linux NVMe driver on a local device."""
+    bed = LocalTestbed(config=config, seed=seed)
+    driver = StockNvmeDriver(bed.sim, bed.fabric, bed.host,
+                             bed.nvme.bars[0].base, bed.config,
+                             queue_depth=queue_depth)
+    bed.sim.run(until=bed.sim.process(driver.start()))
+    return Scenario("local-linux", bed.sim, driver, bed)
+
+
+def nvmeof_remote(config: SimulationConfig | None = None,
+                  seed: int | None = None,
+                  queue_depth: int = 32) -> Scenario:
+    """NVMe-oF: kernel initiator over RDMA to an SPDK target."""
+    bed = RdmaTestbed(config=config, seed=seed)
+    target = SpdkTarget(bed.sim, bed.fabric, bed.target_host,
+                        bed.nvme.bars[0].base, bed.target_nic, bed.config)
+    bed.sim.run(until=bed.sim.process(target.start()))
+    initiator = NvmeofInitiator(bed.sim, bed.initiator_host,
+                                bed.initiator_nic, bed.config,
+                                queue_depth=queue_depth)
+    bed.sim.run(until=bed.sim.process(initiator.connect(target)))
+    return Scenario("nvmeof-remote", bed.sim, initiator, bed,
+                    extras={"target": target})
+
+
+def _ours(client_host: int, config: SimulationConfig | None,
+          seed: int | None, queue_depth: int, label: str,
+          n_hosts: int = 2, **client_kwargs) -> Scenario:
+    bed = PcieTestbed(config=config, n_hosts=n_hosts, with_nvme=True,
+                      seed=seed)
+    manager = NvmeManager(bed.sim, bed.smartio, bed.node(0),
+                          bed.nvme_device_id, bed.config)
+    bed.sim.run(until=bed.sim.process(manager.start()))
+    client = DistributedNvmeClient(bed.sim, bed.smartio,
+                                   bed.node(client_host),
+                                   bed.nvme_device_id, bed.config,
+                                   queue_depth=queue_depth,
+                                   **client_kwargs)
+    bed.sim.run(until=bed.sim.process(client.start()))
+    return Scenario(label, bed.sim, client, bed,
+                    extras={"manager": manager})
+
+
+def ours_local(config: SimulationConfig | None = None,
+               seed: int | None = None, queue_depth: int = 32,
+               **client_kwargs) -> Scenario:
+    """Distributed driver, client co-located with the device."""
+    return _ours(0, config, seed, queue_depth, "ours-local",
+                 **client_kwargs)
+
+
+def ours_remote(config: SimulationConfig | None = None,
+                seed: int | None = None, queue_depth: int = 32,
+                **client_kwargs) -> Scenario:
+    """Distributed driver, client across the NTB cluster switch."""
+    return _ours(1, config, seed, queue_depth, "ours-remote",
+                 **client_kwargs)
+
+
+def build_fig10_scenario(name: str,
+                         config: SimulationConfig | None = None,
+                         seed: int | None = None) -> Scenario:
+    builders = {
+        "local-linux": local_linux,
+        "nvmeof-remote": nvmeof_remote,
+        "ours-local": ours_local,
+        "ours-remote": ours_remote,
+    }
+    try:
+        return builders[name](config=config, seed=seed)
+    except KeyError:
+        raise ValueError(f"unknown scenario {name!r}; "
+                         f"pick one of {FIG10_SCENARIOS}") from None
+
+
+@dataclasses.dataclass
+class MultiHostScenario:
+    sim: Simulator
+    clients: list[DistributedNvmeClient]
+    manager: NvmeManager
+    testbed: PcieTestbed
+
+
+def multihost(n_clients: int, config: SimulationConfig | None = None,
+              seed: int | None = None, queue_depth: int = 16,
+              include_device_host: bool = False) -> MultiHostScenario:
+    """N clients sharing the single-function controller in host0.
+
+    With ``include_device_host`` the device's own host also runs a
+    client (the paper's sharing is symmetric); otherwise all clients
+    are remote.
+    """
+    nvme_cfg = (config or SimulationConfig()).nvme
+    limit = nvme_cfg.max_queue_pairs - 1
+    if n_clients > limit:
+        raise ValueError(f"controller supports {limit} I/O queue pairs")
+    first = 0 if include_device_host else 1
+    n_hosts = first + n_clients
+    bed = PcieTestbed(config=config, n_hosts=max(2, n_hosts),
+                      with_nvme=True, seed=seed)
+    manager = NvmeManager(bed.sim, bed.smartio, bed.node(0),
+                          bed.nvme_device_id, bed.config)
+    bed.sim.run(until=bed.sim.process(manager.start()))
+    clients = []
+    for i in range(n_clients):
+        host_index = first + i
+        client = DistributedNvmeClient(
+            bed.sim, bed.smartio, bed.node(host_index),
+            bed.nvme_device_id, bed.config, queue_depth=queue_depth,
+            slot_index=i, name=f"host{host_index}-nvme")
+        bed.sim.run(until=bed.sim.process(client.start()))
+        clients.append(client)
+    return MultiHostScenario(bed.sim, clients, manager, bed)

@@ -1,0 +1,25 @@
+"""Discrete-event simulation kernel (integer-nanosecond clock).
+
+Public surface::
+
+    from repro.sim import Simulator, Resource, Store, Signal
+"""
+
+from .core import Simulator
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Interrupt, Process
+from .resources import Request, Resource, Signal, Store
+from .rng import RngRegistry
+from .stats import (BoxplotStats, Counter, LatencyRecorder, iops,
+                    throughput_bytes_per_s)
+from .trace import NULL_TRACER, NullTracer, Tracer, TraceRecord
+
+__all__ = [
+    "Simulator", "Event", "Timeout", "AnyOf", "AllOf",
+    "Process", "Interrupt",
+    "Resource", "Request", "Store", "Signal",
+    "RngRegistry",
+    "LatencyRecorder", "BoxplotStats", "Counter", "iops",
+    "throughput_bytes_per_s",
+    "Tracer", "TraceRecord", "NullTracer", "NULL_TRACER",
+]

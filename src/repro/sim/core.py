@@ -1,0 +1,142 @@
+"""The discrete-event simulator core.
+
+A binary-heap event queue keyed on ``(time, priority, sequence)``.  Time is
+integer nanoseconds (see :mod:`repro.units`); the monotonically increasing
+sequence number makes the ordering total and deterministic, which keeps
+whole-cluster simulations bit-reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from heapq import heappop, heappush
+from itertools import count
+
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process
+from .rng import RngRegistry
+
+#: Priority for ordinary events.
+NORMAL = 1
+#: Priority for "urgent" bookkeeping events processed before normal ones
+#: scheduled at the same instant (used by the process machinery).
+URGENT = 0
+
+
+class Simulator:
+    """Owns the clock, the event queue and per-component RNG streams.
+
+    Typical use::
+
+        sim = Simulator(seed=7)
+
+        def worker(sim):
+            yield sim.timeout(100)
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert proc.value == "done"
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now: int = 0
+        self._queue: list[tuple[int, int, int, Event]] = []
+        self._sequence = count()
+        self._resource_sequence = count()
+        self._active_process: Process | None = None
+        self.rng = RngRegistry(seed)
+        #: free-form registry used by components to find each other
+        self.components: dict[str, t.Any] = {}
+
+    def _next_resource_order(self) -> int:
+        """Deterministic creation index for Resources (lock ordering)."""
+        return next(self._resource_sequence)
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        return self._active_process
+
+    # -- event factories -------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: int, value: t.Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: t.Generator) -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator)
+
+    def any_of(self, events: t.Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: t.Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling -------------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: int = 0, priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heappush(self._queue, (self._now + int(delay), priority,
+                               next(self._sequence), event))
+
+    # -- execution ----------------------------------------------------------------
+
+    def peek(self) -> int | None:
+        """Time of the next scheduled event, or None if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        when, _prio, _seq, event = heappop(self._queue)
+        assert when >= self._now, "event queue ordering violated"
+        self._now = when
+        event._process()
+
+    def run(self, until: int | Event | None = None) -> t.Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        ``until`` may be an absolute time (int) or an :class:`Event`; when
+        it is an event, its value is returned (exceptions propagate).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            stop = until
+            if stop.processed:
+                return stop.value if stop.ok else None
+            done: list[Event] = []
+            if stop.callbacks is None:
+                raise RuntimeError("cannot run until an event without callbacks")
+            stop.callbacks.append(done.append)
+            while self._queue and not done:
+                self.step()
+            if not done:
+                raise RuntimeError(
+                    "simulation ran out of events before the target event fired")
+            if not stop.ok:
+                stop.defuse()
+                raise t.cast(BaseException, stop._value)
+            return stop._value
+
+        deadline = int(until)
+        if deadline < self._now:
+            raise ValueError(
+                f"until={deadline} is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None

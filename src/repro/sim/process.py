@@ -1,0 +1,121 @@
+"""Generator-coroutine processes.
+
+A :class:`Process` drives a generator: each value the generator yields must
+be an :class:`~repro.sim.events.Event`; the process suspends until that
+event is processed, then resumes with the event's value (or the event's
+exception thrown into the generator).  The process itself is an event that
+triggers when the generator returns, carrying the generator's return value.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from .events import Event
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from .core import Simulator
+
+
+class Interrupt(Exception):
+    """Raised inside a process when :meth:`Process.interrupt` is called."""
+
+    @property
+    def cause(self) -> t.Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """An event-yielding coroutine scheduled on the simulator."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, sim: "Simulator", generator: t.Generator,
+                 name: str | None = None) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process requires a generator, got {generator!r}")
+        super().__init__(sim)
+        self._generator = generator
+        self._target: Event | None = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off at the current instant, ahead of normal events, so a
+        # newly spawned process observes the state that existed when it
+        # was spawned.
+        from .core import URGENT
+        boot = Event(sim)
+        boot._ok = True
+        boot._value = None
+        boot.callbacks.append(self._resume)
+        sim._schedule(boot, 0, priority=URGENT)
+        self._target = boot
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: t.Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        The interrupt is delivered asynchronously via an urgent event so
+        interrupting from within another process is safe.
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already terminated")
+        if self.sim.active_process is self:
+            raise RuntimeError("a process cannot interrupt itself")
+        from .core import URGENT
+        kick = Event(self.sim)
+        kick._ok = False
+        kick._value = Interrupt(cause)
+        kick.defuse()
+        # Detach from the event currently waited on, then deliver.
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        kick.callbacks.append(self._resume)
+        self.sim._schedule(kick, 0, priority=URGENT)
+
+    # -- driving the generator ------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        sim = self.sim
+        sim._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    target = self._generator.send(event._value)
+                else:
+                    event.defuse()
+                    target = self._generator.throw(
+                        t.cast(BaseException, event._value))
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                break
+            except BaseException as exc:
+                self.fail(exc)
+                break
+
+            if not isinstance(target, Event):
+                exc = RuntimeError(
+                    f"process {self.name!r} yielded a non-event: {target!r}")
+                try:
+                    self._generator.throw(exc)
+                except StopIteration as stop:
+                    self.succeed(stop.value)
+                except BaseException as err:
+                    self.fail(err)
+                break
+
+            if target.processed:
+                # Already done: loop immediately with its outcome.
+                event = target
+                continue
+            if target.callbacks is None:  # pragma: no cover - defensive
+                raise RuntimeError("target event is being processed")
+            target.callbacks.append(self._resume)
+            self._target = target
+            break
+        sim._active_process = None

@@ -1,0 +1,167 @@
+"""Synchronisation primitives built on events.
+
+``Resource``
+    Counted FIFO resource (link occupancy, DMA engines, media channels).
+
+``Store``
+    Unbounded FIFO of Python objects with blocking ``get`` (mailboxes,
+    request queues between driver layers).
+
+``Signal``
+    Broadcast edge: ``wait()`` returns an event triggered by the next
+    ``fire()``.  Used to model "something changed, re-check your state"
+    wakeups such as doorbell writes and CQ-memory watchpoints without
+    busy-poll event storms.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from collections import deque
+
+from .events import Event
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from .core import Simulator
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`; triggers when granted."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, sim: "Simulator", resource: "Resource") -> None:
+        super().__init__(sim)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc: t.Any) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A counted resource with strict FIFO granting.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ...  # hold the resource
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        #: deterministic creation index — use this (never ``id()``) as a
+        #: canonical lock-ordering key, or runs stop being reproducible
+        self.order = sim._next_resource_order()
+        self._holders: set[Request] = set()
+        self._waiting: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of currently granted requests."""
+        return len(self._holders)
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting for a grant."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        req = Request(self.sim, self)
+        if len(self._holders) < self.capacity:
+            self._holders.add(req)
+            req.succeed(req)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        if request in self._holders:
+            self._holders.discard(request)
+        else:
+            # Releasing a never-granted request cancels it.
+            try:
+                self._waiting.remove(request)
+                return
+            except ValueError:
+                raise RuntimeError("releasing a request not issued here") from None
+        while self._waiting and len(self._holders) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._holders.add(nxt)
+            nxt.succeed(nxt)
+
+    def acquire(self) -> t.Generator[Event, t.Any, Request]:
+        """Convenience sub-generator: ``req = yield from res.acquire()``."""
+        req = self.request()
+        yield req
+        return req
+
+
+class Store:
+    """Unbounded FIFO of items with blocking ``get``."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._items: deque[t.Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: t.Any) -> None:
+        """Deposit an item, waking the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that triggers with the next available item."""
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> t.Any | None:
+        """Non-blocking pop; None when empty."""
+        return self._items.popleft() if self._items else None
+
+
+class Signal:
+    """Broadcast wakeup edge.
+
+    ``wait()`` hands back an event; the next ``fire(value)`` triggers all
+    outstanding waits.  Each wait observes at most one fire — callers that
+    must not miss edges should re-arm before re-checking state, i.e.::
+
+        while not condition():
+            ev = signal.wait()
+            yield ev
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._waiters: list[Event] = []
+        self.fires = 0
+
+    def wait(self) -> Event:
+        ev = Event(self.sim)
+        self._waiters.append(ev)
+        return ev
+
+    def fire(self, value: t.Any = None) -> None:
+        self.fires += 1
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.succeed(value)

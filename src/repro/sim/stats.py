@@ -1,0 +1,137 @@
+"""Latency recording and summary statistics.
+
+The paper reports latency boxplots whose whiskers span *minimum to the
+99th percentile* (Fig. 10).  :class:`BoxplotStats` mirrors exactly that
+convention.  Recording uses a growable preallocated numpy buffer — per-I/O
+``list.append`` of Python ints would dominate profile time in long runs
+(see the HPC guides: preallocate, vectorise the summaries).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+import numpy as np
+
+from ..units import ns_to_us
+
+
+class LatencyRecorder:
+    """Append-only store of per-operation latencies (integer ns)."""
+
+    def __init__(self, name: str = "", initial_capacity: int = 4096) -> None:
+        self.name = name
+        self._buf = np.empty(max(16, initial_capacity), dtype=np.int64)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def record(self, latency_ns: int) -> None:
+        if latency_ns < 0:
+            raise ValueError(f"negative latency: {latency_ns}")
+        if self._n == self._buf.shape[0]:
+            grown = np.empty(self._buf.shape[0] * 2, dtype=np.int64)
+            grown[: self._n] = self._buf
+            self._buf = grown
+        self._buf[self._n] = latency_ns
+        self._n += 1
+
+    def values(self) -> np.ndarray:
+        """Read-only view of the recorded latencies."""
+        view = self._buf[: self._n]
+        view.flags.writeable = False
+        return view
+
+    def summary(self) -> "BoxplotStats":
+        return BoxplotStats.from_values(self.values(), name=self.name)
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        vals = other.values()
+        for v in vals.tolist():
+            self.record(int(v))
+
+
+@dataclasses.dataclass(frozen=True)
+class BoxplotStats:
+    """Five-number-plus summary matching the paper's Fig. 10 boxplots."""
+
+    name: str
+    count: int
+    minimum: int
+    q1: float
+    median: float
+    q3: float
+    p99: float
+    maximum: int
+    mean: float
+    stddev: float
+
+    @classmethod
+    def from_values(cls, values: np.ndarray | t.Sequence[int],
+                    name: str = "") -> "BoxplotStats":
+        arr = np.asarray(values, dtype=np.int64)
+        if arr.size == 0:
+            raise ValueError("no samples recorded")
+        q1, med, q3, p99 = np.percentile(arr, [25, 50, 75, 99])
+        return cls(
+            name=name,
+            count=int(arr.size),
+            minimum=int(arr.min()),
+            q1=float(q1),
+            median=float(med),
+            q3=float(q3),
+            p99=float(p99),
+            maximum=int(arr.max()),
+            mean=float(arr.mean()),
+            stddev=float(arr.std()),
+        )
+
+    def as_us(self) -> dict[str, float]:
+        """All fields converted to microseconds (floats)."""
+        return {
+            "min": ns_to_us(self.minimum),
+            "q1": self.q1 / 1000.0,
+            "median": self.median / 1000.0,
+            "q3": self.q3 / 1000.0,
+            "p99": self.p99 / 1000.0,
+            "max": ns_to_us(self.maximum),
+            "mean": self.mean / 1000.0,
+        }
+
+    def __str__(self) -> str:
+        u = self.as_us()
+        return (f"{self.name or 'latency'}: n={self.count} "
+                f"min={u['min']:.2f}us q1={u['q1']:.2f}us "
+                f"med={u['median']:.2f}us q3={u['q3']:.2f}us "
+                f"p99={u['p99']:.2f}us max={u['max']:.2f}us")
+
+
+class Counter:
+    """Named monotonic counters for throughput/accounting."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+
+    def add(self, name: str, value: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + value
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+
+def iops(completed: int, elapsed_ns: int) -> float:
+    """Operations per second over a simulated interval."""
+    if elapsed_ns <= 0:
+        return 0.0
+    return completed / (elapsed_ns / 1e9)
+
+
+def throughput_bytes_per_s(nbytes: int, elapsed_ns: int) -> float:
+    if elapsed_ns <= 0:
+        return 0.0
+    return nbytes / (elapsed_ns / 1e9)

@@ -1,0 +1,73 @@
+"""Lightweight structured tracing.
+
+Tracing is off by default and costs one attribute check per emit; when a
+sink is attached, every record is a plain tuple ``(time_ns, category,
+message, payload)``.  Used by tests to assert ordering properties (e.g.
+"the controller never fetched a command before its doorbell write
+arrived") and by examples to narrate a run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from .core import Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    time_ns: int
+    category: str
+    message: str
+    payload: dict[str, t.Any] = dataclasses.field(default_factory=dict)
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` items, optionally filtered by category."""
+
+    def __init__(self, sim: "Simulator",
+                 categories: t.Collection[str] | None = None) -> None:
+        self.sim = sim
+        self.records: list[TraceRecord] = []
+        self.categories = frozenset(categories) if categories else None
+        self._enabled = True
+
+    def emit(self, category: str, message: str, **payload: t.Any) -> None:
+        if not self._enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self.records.append(
+            TraceRecord(self.sim.now, category, message, payload))
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def filter(self, category: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.category == category]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class NullTracer:
+    """No-op stand-in used when tracing is disabled (the default)."""
+
+    records: list[TraceRecord] = []
+
+    def emit(self, category: str, message: str, **payload: t.Any) -> None:
+        pass
+
+    def filter(self, category: str) -> list[TraceRecord]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

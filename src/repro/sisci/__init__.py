@@ -1,0 +1,7 @@
+"""SISCI shared-memory API model (segments, connect, NTB mapping)."""
+
+from .segments import (LocalSegment, RemoteSegment, SegmentId, SisciError,
+                       SisciNode)
+
+__all__ = ["SisciNode", "LocalSegment", "RemoteSegment", "SegmentId",
+           "SisciError"]

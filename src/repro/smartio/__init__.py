@@ -1,0 +1,10 @@
+"""SmartIO device-oriented shared-memory extension: cluster-wide device
+registry, BAR export, DMA windows and hint-based segment placement."""
+
+from .hints import (AccessHints, Placement, BUFFER_HINTS, CQ_HINTS,
+                    SQ_HINTS)
+from .service import DeviceRecord, DeviceRef, SmartIoError, SmartIoService
+
+__all__ = ["SmartIoService", "DeviceRef", "DeviceRecord", "SmartIoError",
+           "AccessHints", "Placement", "SQ_HINTS", "CQ_HINTS",
+           "BUFFER_HINTS"]

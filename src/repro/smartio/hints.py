@@ -1,0 +1,57 @@
+"""Access-pattern hints for segment placement (paper Sec. IV, Fig. 8).
+
+Instead of naming a host, callers describe who touches the memory and
+how; SmartIO places the segment to keep *non-posted reads* short:
+
+* the device mostly **reads** it (an SQ: CPU writes commands, controller
+  fetches them) -> allocate in **device-side** memory, so the controller
+  never reads across the NTB;
+* the device mostly **writes** it (a CQ or read-data buffer: controller
+  posts, CPU polls) -> allocate in **CPU-side** memory, so polling is
+  local and the device's writes ride cheap posted transactions.
+
+Ties fall back to CPU-side placement (polling locality wins — reads by
+the CPU across the NTB would stall the processor, while the device
+tolerates posted-write distance for free).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class Placement(enum.Enum):
+    DEVICE_SIDE = "device"
+    CPU_SIDE = "cpu"
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessHints:
+    """Expected access pattern of a segment."""
+
+    device_reads: bool = False
+    device_writes: bool = False
+    cpu_reads: bool = False
+    cpu_writes: bool = False
+
+    def placement(self) -> Placement:
+        if self.device_reads and not self.device_writes:
+            return Placement.DEVICE_SIDE
+        if self.device_writes and not self.device_reads:
+            return Placement.CPU_SIDE
+        if self.cpu_reads and not self.cpu_writes:
+            # CPU polls it: keep it local to the CPU.
+            return Placement.CPU_SIDE
+        if self.cpu_writes and not self.cpu_reads:
+            return Placement.DEVICE_SIDE
+        return Placement.CPU_SIDE
+
+
+#: An SQ: written by driver software, fetched (read) by the controller.
+SQ_HINTS = AccessHints(device_reads=True, cpu_writes=True)
+#: A CQ: posted (written) by the controller, polled (read) by software.
+CQ_HINTS = AccessHints(device_writes=True, cpu_reads=True)
+#: A data bounce buffer: both sides read and write.
+BUFFER_HINTS = AccessHints(device_reads=True, device_writes=True,
+                           cpu_reads=True, cpu_writes=True)

@@ -1,0 +1,237 @@
+"""The SmartIO host-abstraction service (paper Sec. IV).
+
+A cluster-wide service that
+
+* registers devices under unique cluster-wide identifiers and tracks
+  which host they physically live in;
+* auto-exports device BARs as segments, so any host can memory-map a
+  remote device's registers through its NTB;
+* maps SISCI segments *for a device* ("DMA windows"): sets up the
+  device-side NTB so the device's native DMA engine reaches (possibly
+  remote) segment memory, and hands back the device-visible address —
+  callers stay agnostic of physical address-space layouts;
+* supports exclusive/non-exclusive device acquisition; and
+* allocates segments by access-pattern *hint* rather than by host name.
+
+All of this is control-plane work: it happens at setup, never per-I/O.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from ..pcie import Bar, NtbFunction, PCIeFunction
+from ..sim import Simulator
+from ..sisci import LocalSegment, SisciError, SisciNode
+from .hints import AccessHints, Placement
+
+
+class SmartIoError(Exception):
+    pass
+
+
+@dataclasses.dataclass
+class DeviceRecord:
+    device_id: int
+    function: PCIeFunction
+    node: SisciNode                  # SISCI runtime of the device's host
+    exclusive_ref: "DeviceRef | None" = None
+    refs: list["DeviceRef"] = dataclasses.field(default_factory=list)
+    #: (node_id, segment_id) of the manager's metadata segment, once a
+    #: manager has claimed the device (distributed-driver protocol).
+    metadata_segment: tuple[int, int] | None = None
+
+
+class DeviceRef:
+    """A host's handle on a registered device."""
+
+    def __init__(self, service: "SmartIoService", record: DeviceRecord,
+                 node: SisciNode, exclusive: bool) -> None:
+        self.service = service
+        self.record = record
+        self.node = node                  # the *acquiring* host's runtime
+        self.exclusive = exclusive
+        self.released = False
+        self._bar_windows: list[int] = []
+        self._dma_windows: list[int] = []
+
+    # -- registers ------------------------------------------------------------
+
+    @property
+    def function(self) -> PCIeFunction:
+        return self.record.function
+
+    def map_bar(self, bar_index: int = 0) -> int:
+        """Map a device BAR for this host's CPU; returns the local
+        physical address (through the NTB when the device is remote)."""
+        self._check_live()
+        bar = self.record.function.bars[bar_index]
+        assert bar.base is not None
+        device_host = self.record.node.host
+        if device_host is self.node.host:
+            return bar.base
+        window = self.node.ntb.map_window(
+            device_host, bar.base, bar.size,
+            label=f"bar{bar_index}-dev{self.record.device_id}")
+        self._bar_windows.append(window)
+        return window
+
+    # -- DMA windows -------------------------------------------------------------
+
+    def map_segment_for_device(self, segment: LocalSegment) -> int:
+        """Make ``segment`` reachable by the device's DMA engine.
+
+        Returns the address the *device* must use (an address in the
+        device host's space) — the "resolved address" drivers place in
+        SQEs and PRPs.  SmartIO resolves the multi-address-space problem
+        here so driver code never sees a remote host's layout.
+        """
+        self._check_live()
+        device_host = self.record.node.host
+        if segment.host is device_host:
+            return segment.phys_addr
+        window = self.record.node.ntb.map_window(
+            segment.host, segment.phys_addr, segment.size,
+            label=f"dmawin-{segment.id}-dev{self.record.device_id}")
+        self._dma_windows.append(window)
+        return window
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def downgrade(self) -> None:
+        """Drop exclusivity while keeping the reference (manager pattern:
+        lock, reset and prepare the device, then allow others in)."""
+        self._check_live()
+        if self.exclusive:
+            self.exclusive = False
+            self.record.exclusive_ref = None
+
+    def release(self) -> None:
+        if self.released:
+            return
+        self.released = True
+        for window in self._bar_windows:
+            self.node.ntb.unmap_window(window)
+        for window in self._dma_windows:
+            self.record.node.ntb.unmap_window(window)
+        self._bar_windows.clear()
+        self._dma_windows.clear()
+        if self.exclusive:
+            self.record.exclusive_ref = None
+        self.record.refs.remove(self)
+
+    def _check_live(self) -> None:
+        if self.released:
+            raise SmartIoError("device reference has been released")
+
+
+class SmartIoService:
+    """Cluster-wide device registry + placement service."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._devices: dict[int, DeviceRecord] = {}
+        self._nodes: dict[int, SisciNode] = {}
+        self._next_device_id = 1
+        self._next_segment_id = 0x5000_0000  # hinted-allocation namespace
+
+    # -- node / device registration -------------------------------------------
+
+    def register_node(self, node: SisciNode) -> None:
+        if node.node_id in self._nodes:
+            raise SmartIoError(f"node id {node.node_id} already registered")
+        self._nodes[node.node_id] = node
+
+    def register_device(self, function: PCIeFunction) -> int:
+        """Register a device; its BARs become cluster-visible."""
+        node = self._node_for_host(function.host)
+        device_id = self._next_device_id
+        self._next_device_id += 1
+        self._devices[device_id] = DeviceRecord(device_id, function, node)
+        return device_id
+
+    def _node_for_host(self, host) -> SisciNode:
+        for node in self._nodes.values():
+            if node.host is host:
+                return node
+        raise SmartIoError(f"host {host} has no registered SISCI node")
+
+    # -- discovery -----------------------------------------------------------------
+
+    def list_devices(self) -> list[tuple[int, str, str]]:
+        """(device_id, function name, host name) for every device."""
+        return [(r.device_id, r.function.name, r.node.host.name)
+                for r in self._devices.values()]
+
+    def device_host_name(self, device_id: int) -> str:
+        return self._record(device_id).node.host.name
+
+    def set_device_metadata(self, device_id: int,
+                            location: tuple[int, int]) -> None:
+        """Advertise the (node_id, segment_id) of a manager's metadata
+        segment — part of the information SmartIO "distributes ... to
+        other hosts in the network" (paper Sec. IV)."""
+        self._record(device_id).metadata_segment = location
+
+    def device_metadata(self, device_id: int) -> tuple[int, int]:
+        location = self._record(device_id).metadata_segment
+        if location is None:
+            raise SmartIoError(
+                f"device {device_id} is not managed (no metadata segment)")
+        return location
+
+    def _record(self, device_id: int) -> DeviceRecord:
+        try:
+            return self._devices[device_id]
+        except KeyError:
+            raise SmartIoError(f"unknown device id {device_id}") from None
+
+    # -- acquisition ----------------------------------------------------------------
+
+    def acquire(self, device_id: int, node: SisciNode,
+                exclusive: bool = False) -> DeviceRef:
+        record = self._record(device_id)
+        if record.exclusive_ref is not None:
+            raise SmartIoError(
+                f"device {device_id} is exclusively held")
+        if exclusive and record.refs:
+            raise SmartIoError(
+                f"device {device_id} has {len(record.refs)} active "
+                "references; cannot lock")
+        ref = DeviceRef(self, record, node, exclusive)
+        record.refs.append(ref)
+        if exclusive:
+            record.exclusive_ref = ref
+        return ref
+
+    # -- hinted allocation -------------------------------------------------------------
+
+    def alloc_segment_hinted(self, requester: SisciNode, device_id: int,
+                             size: int, hints: AccessHints,
+                             segment_id: int | None = None) -> LocalSegment:
+        """Allocate a segment in the host chosen by the access hints.
+
+        ``requester`` is the CPU side of the hint; the device side is the
+        host the device lives in.  The segment is created available.
+        """
+        return self.alloc_segment_placed(requester, device_id, size,
+                                         hints.placement(), segment_id)
+
+    def alloc_segment_placed(self, requester: SisciNode, device_id: int,
+                             size: int, placement: Placement,
+                             segment_id: int | None = None) -> LocalSegment:
+        """Allocate a segment on an explicitly chosen side.
+
+        Benchmarks use this to ablate the hint heuristics (e.g. forcing
+        an SQ into client memory to measure the Fig. 8 effect).
+        """
+        record = self._record(device_id)
+        owner = (record.node if placement is Placement.DEVICE_SIDE
+                 else requester)
+        if segment_id is None:
+            segment_id = self._next_segment_id
+            self._next_segment_id += 1
+        seg = owner.create_segment(segment_id, size)
+        seg.set_available()
+        return seg

@@ -1,0 +1,119 @@
+"""Time and size units used throughout the simulation.
+
+All simulated time is kept as *integer nanoseconds*.  Integers keep the
+event queue totally ordered and reproducible (no floating-point drift when
+summing per-hop latencies), which matters because the paper's headline
+numbers are sub-microsecond differences between scenarios.
+
+Sizes are plain integers in bytes.  Bandwidths are expressed in bytes per
+nanosecond (``bytes/ns`` == GB/s) so that ``size / bandwidth`` yields
+nanoseconds directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- time ---------------------------------------------------------------
+
+NS = 1
+US = 1_000
+MS = 1_000_000
+SEC = 1_000_000_000
+
+# --- sizes --------------------------------------------------------------
+
+KiB = 1024
+MiB = 1024 * 1024
+GiB = 1024 * 1024 * 1024
+
+
+def ns_to_us(ns: int) -> float:
+    """Convert integer nanoseconds to floating-point microseconds."""
+    return ns / US
+
+
+def us(value: float) -> int:
+    """Microseconds -> integer nanoseconds (rounded to nearest)."""
+    return round(value * US)
+
+
+def gb_per_s(value: float) -> float:
+    """Gigabytes per second -> bytes per nanosecond.
+
+    1 GB/s == 1e9 bytes / 1e9 ns == 1 byte/ns, so this is the identity;
+    the helper exists to make call sites self-documenting.
+    """
+    return float(value)
+
+
+def gbit_per_s(value: float) -> float:
+    """Gigabits per second -> bytes per nanosecond."""
+    return value / 8.0
+
+
+def serialize_ns(nbytes: int, bytes_per_ns: float) -> int:
+    """Time to serialize ``nbytes`` onto a link of the given bandwidth.
+
+    Always at least 1 ns for a non-empty payload so that ordering of
+    back-to-back transfers on the same link is preserved.
+    """
+    if nbytes <= 0:
+        return 0
+    if bytes_per_ns <= 0:
+        raise ValueError("bandwidth must be positive")
+    return max(1, math.ceil(nbytes / bytes_per_ns))
+
+
+def fmt_ns(ns: int) -> str:
+    """Human-readable rendering of a nanosecond quantity."""
+    if ns >= SEC:
+        return f"{ns / SEC:.3f}s"
+    if ns >= MS:
+        return f"{ns / MS:.3f}ms"
+    if ns >= US:
+        return f"{ns / US:.2f}us"
+    return f"{ns}ns"
+
+
+def fmt_size(nbytes: int) -> str:
+    """Human-readable rendering of a byte quantity."""
+    if nbytes >= GiB:
+        return f"{nbytes / GiB:.2f}GiB"
+    if nbytes >= MiB:
+        return f"{nbytes / MiB:.2f}MiB"
+    if nbytes >= KiB:
+        return f"{nbytes / KiB:.2f}KiB"
+    return f"{nbytes}B"
+
+
+def parse_size(text: str) -> int:
+    """Parse a size string like ``"4k"``, ``"128K"``, ``"1M"``, ``"512"``.
+
+    Accepts fio-style suffixes (k/m/g, case-insensitive, optional ``iB``/
+    ``B`` trailer); bare numbers are bytes.
+    """
+    s = text.strip().lower()
+    for suffix in ("ib", "b"):
+        if s.endswith(suffix) and not s[: -len(suffix)][-1:].isdigit() is False:
+            # only strip when what remains still ends with a unit letter or digit
+            pass
+    # normalise trailing "ib"/"b"
+    if s.endswith("ib"):
+        s = s[:-2]
+    elif s.endswith("b") and len(s) > 1 and s[-2] in "kmg":
+        s = s[:-1]
+    mult = 1
+    if s and s[-1] in "kmg":
+        mult = {"k": KiB, "m": MiB, "g": GiB}[s[-1]]
+        s = s[:-1]
+    if not s:
+        raise ValueError(f"cannot parse size: {text!r}")
+    try:
+        value = float(s)
+    except ValueError as exc:
+        raise ValueError(f"cannot parse size: {text!r}") from exc
+    result = int(value * mult)
+    if result < 0:
+        raise ValueError(f"size must be non-negative: {text!r}")
+    return result

@@ -1,0 +1,17 @@
+"""Synthetic storage workloads: fio-like jobs plus realistic access
+patterns (zipfian popularity, bursty arrivals, mixed-size profiles)."""
+
+from .fio import FioJob, FioResult, fio_generator, run_fio, run_fio_many
+from .patterns import (BurstyArrivals, MixedBlockProfile, PatternResult,
+                       PROFILES, ZipfianAccess, pattern_generator,
+                       run_pattern)
+from .replay import (BlockTrace, RecordingDevice, ReplayResult,
+                     TraceEntry, replay_trace)
+
+__all__ = ["FioJob", "FioResult", "fio_generator", "run_fio",
+           "run_fio_many",
+           "ZipfianAccess", "BurstyArrivals", "MixedBlockProfile",
+           "PROFILES", "PatternResult", "pattern_generator",
+           "run_pattern",
+           "BlockTrace", "TraceEntry", "RecordingDevice",
+           "ReplayResult", "replay_trace"]

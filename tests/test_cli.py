@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scenario == "ours-remote"
+        assert args.rw == "randread"
+        assert args.iodepth == 1
+
+    def test_bad_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scenario", "bogus"])
+
+    def test_bad_rw_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--rw", "trim"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("local-linux", "nvmeof-remote", "ours-local",
+                     "ours-remote"):
+            assert name in out
+
+    def test_run(self, capsys):
+        rc = main(["run", "--scenario", "ours-local", "--ios", "120",
+                   "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "kIOPS" in out
+        assert "med=" in out
+
+    def test_run_write_mode(self, capsys):
+        rc = main(["run", "--scenario", "local-linux", "--rw",
+                   "randwrite", "--ios", "100", "--bs", "8k"])
+        assert rc == 0
+        assert "cli-write" in capsys.readouterr().out
+
+    def test_multihost(self, capsys):
+        rc = main(["multihost", "--clients", "2", "--ios", "60",
+                   "--iodepth", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out
+        assert "host1-nvme" in out
+
+    def test_fig10_small(self, capsys):
+        rc = main(["fig10", "--ios", "150"])
+        out = capsys.readouterr().out
+        assert "minimum-latency delta" in out
+        assert rc == 0, out

@@ -1,0 +1,46 @@
+"""End-to-end determinism: identical seeds must give bit-identical
+results, independent of object identities (``id()`` ordering) and
+process state.  Guards the reproducibility claim in EXPERIMENTS.md."""
+
+import numpy as np
+
+from repro.scenarios import multihost, nvmeof_remote, ours_remote
+from repro.workloads import FioJob, run_fio, run_fio_many
+
+
+class TestScenarioDeterminism:
+    def test_ours_remote_identical_latency_series(self):
+        def run(seed):
+            scenario = ours_remote(seed=seed)
+            result = run_fio(scenario.device,
+                             FioJob(rw="randrw", total_ios=150))
+            return (result.read_latencies.values().tolist(),
+                    result.write_latencies.values().tolist())
+
+        assert run(1234) == run(1234)
+        assert run(1234) != run(1235)
+
+    def test_nvmeof_identical_latency_series(self):
+        def run(seed):
+            scenario = nvmeof_remote(seed=seed)
+            result = run_fio(scenario.device,
+                             FioJob(rw="randread", total_ios=100))
+            return result.read_latencies.values().tolist()
+
+        assert run(77) == run(77)
+
+    def test_multihost_contention_is_deterministic(self):
+        """Contention paths (shared links, media channels, canonical
+        lock ordering) must not depend on object ids."""
+
+        def run():
+            scenario = multihost(3, seed=555, queue_depth=4)
+            jobs = [(c, FioJob(name=f"j{i}", rw="randread", iodepth=4,
+                               total_ios=120, region_lbas=1 << 20))
+                    for i, c in enumerate(scenario.clients)]
+            results = run_fio_many(jobs)
+            return [r.read_latencies.values().tolist() for r in results]
+
+        first = run()
+        second = run()
+        assert first == second

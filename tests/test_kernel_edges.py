@@ -1,0 +1,207 @@
+"""Edge cases in the simulation kernel and transport layers that the
+main suites don't reach."""
+
+import pytest
+
+from repro.rdma import (CompletionQueue, ProtectionDomain, QueuePair,
+                        RecvWR, SendWR, WcStatus, WrOpcode)
+from repro.scenarios.testbed import RdmaTestbed
+from repro.sim import (AllOf, AnyOf, Interrupt, Resource, Simulator,
+                       Store)
+
+
+class TestConditionFailures:
+    def test_allof_propagates_failure(self):
+        sim = Simulator(seed=1)
+
+        def bad(sim):
+            yield sim.timeout(10)
+            raise ValueError("inner failure")
+
+        def good(sim):
+            yield sim.timeout(100)
+
+        caught = []
+
+        def waiter(sim):
+            try:
+                yield sim.all_of([sim.process(bad(sim)),
+                                  sim.process(good(sim))])
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        sim.process(waiter(sim))
+        sim.run()
+        assert caught == ["inner failure"]
+
+    def test_anyof_propagates_failure(self):
+        sim = Simulator(seed=2)
+
+        def bad(sim):
+            yield sim.timeout(5)
+            raise KeyError("fast failure")
+
+        caught = []
+
+        def waiter(sim):
+            try:
+                yield sim.any_of([sim.process(bad(sim)),
+                                  sim.timeout(1000)])
+            except KeyError:
+                caught.append(True)
+
+        sim.process(waiter(sim))
+        sim.run()
+        assert caught == [True]
+
+
+class TestInterruptWithResources:
+    def test_interrupted_waiter_can_cancel_request(self):
+        sim = Simulator(seed=3)
+        res = Resource(sim, capacity=1)
+        holder = res.request()   # grabs it instantly
+        progressed = []
+
+        def waiter(sim):
+            req = res.request()
+            try:
+                yield req
+            except Interrupt:
+                res.release(req)   # cancel the queued request
+                progressed.append("cancelled")
+                return
+            progressed.append("granted")
+
+        victim = sim.process(waiter(sim))
+
+        def interrupter(sim):
+            yield sim.timeout(50)
+            victim.interrupt()
+
+        sim.process(interrupter(sim))
+        sim.run()
+        assert progressed == ["cancelled"]
+        assert res.queued == 0
+        res.release(holder)
+        assert res.count == 0
+
+    def test_store_getter_interrupted(self):
+        sim = Simulator(seed=4)
+        store = Store(sim)
+        outcome = []
+
+        def getter(sim):
+            try:
+                yield store.get()
+            except Interrupt:
+                outcome.append("interrupted")
+
+        victim = sim.process(getter(sim))
+
+        def interrupter(sim):
+            yield sim.timeout(10)
+            victim.interrupt()
+
+        sim.process(interrupter(sim))
+        sim.run()
+        assert outcome == ["interrupted"]
+
+
+class TestRdmaEdges:
+    def _pair(self, bed):
+        pd_t = ProtectionDomain(bed.target_host)
+        pd_i = ProtectionDomain(bed.initiator_host)
+        qp_t = QueuePair(bed.target_nic, pd_t,
+                         CompletionQueue(bed.sim, "ts"),
+                         CompletionQueue(bed.sim, "tr"), name="t")
+        qp_i = QueuePair(bed.initiator_nic, pd_i,
+                         CompletionQueue(bed.sim, "is"),
+                         CompletionQueue(bed.sim, "ir"), name="i")
+        qp_i.connect(qp_t)
+        return pd_t, pd_i, qp_t, qp_i
+
+    def test_recv_buffer_too_small(self):
+        bed = RdmaTestbed(seed=5)
+        pd_t, pd_i, qp_t, qp_i = self._pair(bed)
+        dst = bed.target_host.alloc_dma(4096)
+        qp_t.post_recv(RecvWR(wr_id=1, addr=dst, length=8))
+        qp_i.post_send(SendWR(wr_id=2, opcode=WrOpcode.SEND,
+                              inline_data=b"x" * 64, length=64))
+        bed.sim.run(until=bed.sim.now + 1_000_000)
+        wcs = qp_i.send_cq.poll()
+        assert wcs and wcs[0].status is WcStatus.LOCAL_ERROR
+
+    def test_double_connect_rejected(self):
+        from repro.rdma import RdmaError
+        bed = RdmaTestbed(seed=6)
+        pd_t, pd_i, qp_t, qp_i = self._pair(bed)
+        qp_x = QueuePair(bed.initiator_nic, pd_i,
+                         CompletionQueue(bed.sim, "xs"),
+                         CompletionQueue(bed.sim, "xr"))
+        with pytest.raises(RdmaError):
+            qp_x.connect(qp_t)
+
+    def test_same_qp_ordering_preserved_under_pipelining(self):
+        """RDMA_WRITE then SEND on one QP: data must land before the
+        receive completion is visible, even though the NIC pipelines."""
+        bed = RdmaTestbed(seed=7)
+        pd_t, pd_i, qp_t, qp_i = self._pair(bed)
+        data_dst = bed.target_host.alloc_dma(8192)
+        msg_dst = bed.target_host.alloc_dma(4096)
+        src = bed.initiator_host.alloc_dma(8192)
+        pd_i.register(src, 8192)
+        mr = pd_t.register(data_dst, 8192)
+        bed.initiator_host.memory.write(src, b"D" * 8192)
+        qp_t.post_recv(RecvWR(wr_id=1, addr=msg_dst, length=4096))
+        observed = []
+
+        def on_recv(sim):
+            yield qp_t.recv_cq.signal.wait()
+            # At the instant the SEND completes, the RDMA_WRITE data
+            # must already be fully visible.
+            observed.append(
+                bed.target_host.memory.read(data_dst, 8192))
+
+        bed.sim.process(on_recv(bed.sim))
+        qp_i.post_send(SendWR(wr_id=2, opcode=WrOpcode.RDMA_WRITE,
+                              local_addr=src, length=8192,
+                              remote_addr=data_dst, rkey=mr.rkey))
+        qp_i.post_send(SendWR(wr_id=3, opcode=WrOpcode.SEND,
+                              inline_data=b"done", length=4))
+        bed.sim.run(until=bed.sim.now + 2_000_000)
+        assert observed
+        assert observed[0] == b"D" * 8192
+
+
+class TestNvmeofEdges:
+    def test_slot_exhaustion_returns_error_capsule(self):
+        """More outstanding commands than the negotiated depth: the
+        target answers with an error response instead of dying."""
+        from repro.driver.blockdev import BlockRequest
+        from repro.nvmeof import NvmeofInitiator, SpdkTarget
+
+        bed = RdmaTestbed(seed=8)
+        target = SpdkTarget(bed.sim, bed.fabric, bed.target_host,
+                            bed.nvme.bars[0].base, bed.target_nic,
+                            bed.config)
+        bed.sim.run(until=bed.sim.process(target.start()))
+        initiator = NvmeofInitiator(bed.sim, bed.initiator_host,
+                                    bed.initiator_nic, bed.config,
+                                    queue_depth=8)
+        bed.sim.run(until=bed.sim.process(initiator.connect(target)))
+        # Starve the connection's data slots (keep its recv buffers):
+        # commands beyond two outstanding must be refused, not wedged.
+        connection = target.connections[0]
+        del connection.slots[2:]
+
+        def flow(sim):
+            events = [initiator.submit(BlockRequest("read", lba=i * 8,
+                                                    nblocks=8))
+                      for i in range(8)]
+            outcome = yield sim.all_of(events)
+            return list(outcome.values())
+
+        requests = bed.sim.run(until=bed.sim.process(flow(bed.sim)))
+        statuses = [r.status for r in requests]
+        assert statuses.count(0) >= 2          # some succeed
+        assert any(s != 0 for s in statuses)   # overflow rejected

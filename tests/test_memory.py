@@ -1,0 +1,176 @@
+"""Unit tests for host memory, watchpoints and the range allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import HostMemory, MemoryError_, OutOfSpace, RangeAllocator
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator(seed=9)
+
+
+@pytest.fixture()
+def mem(sim):
+    return HostMemory(sim, size=64 * 1024, base=0x1000_0000, name="t")
+
+
+class TestHostMemory:
+    def test_roundtrip(self, mem):
+        mem.write(0x1000_0100, b"hello world")
+        assert mem.read(0x1000_0100, 11) == b"hello world"
+
+    def test_zero_initialised(self, mem):
+        assert mem.read(0x1000_0000, 16) == bytes(16)
+
+    def test_bounds_checked(self, mem):
+        with pytest.raises(MemoryError_):
+            mem.read(0x0FFF_FFFF, 4)
+        with pytest.raises(MemoryError_):
+            mem.read(mem.end - 2, 4)
+        with pytest.raises(MemoryError_):
+            mem.write(mem.end, b"x")
+
+    def test_u32_u64_helpers(self, mem):
+        mem.write_u32(0x1000_0000, 0xDEADBEEF)
+        assert mem.read_u32(0x1000_0000) == 0xDEADBEEF
+        mem.write_u64(0x1000_0008, 0x1122334455667788)
+        assert mem.read_u64(0x1000_0008) == 0x1122334455667788
+        # little-endian layout
+        assert mem.read(0x1000_0000, 4) == bytes([0xEF, 0xBE, 0xAD, 0xDE])
+
+    def test_u32_masks_high_bits(self, mem):
+        mem.write_u32(0x1000_0000, 0x1_0000_0001)
+        assert mem.read_u32(0x1000_0000) == 1
+
+    def test_fill(self, mem):
+        mem.fill(0x1000_0000, 8, 0xAB)
+        assert mem.read(0x1000_0000, 8) == b"\xab" * 8
+
+    def test_contains(self, mem):
+        assert mem.contains(0x1000_0000, 64 * 1024)
+        assert not mem.contains(0x1000_0000, 64 * 1024 + 1)
+        assert not mem.contains(0x0)
+
+    @given(st.integers(0, 65535 - 64), st.binary(min_size=1, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_write_read_property(self, offset, payload):
+        sim = Simulator(seed=1)
+        mem = HostMemory(sim, size=64 * 1024, base=0x1000_0000)
+        mem.write(0x1000_0000 + offset, payload)
+        assert mem.read(0x1000_0000 + offset, len(payload)) == payload
+
+
+class TestWatchpoints:
+    def test_write_fires_overlapping_watchpoint(self, sim, mem):
+        wp = mem.watch(0x1000_0100, 16)
+        woken = []
+
+        def poller(sim):
+            value = yield wp.signal.wait()
+            woken.append((sim.now, value))
+
+        sim.process(poller(sim))
+
+        def writer(sim):
+            yield sim.timeout(50)
+            mem.write(0x1000_0108, b"\x01")
+
+        sim.process(writer(sim))
+        sim.run()
+        assert woken == [(50, (0x1000_0108, 0x1000_0109))]
+
+    def test_non_overlapping_write_does_not_fire(self, sim, mem):
+        wp = mem.watch(0x1000_0100, 16)
+        mem.write(0x1000_0110, b"x")   # adjacent, not inside
+        mem.write(0x1000_00FF, b"x")   # just below
+        assert wp.signal.fires == 0
+        mem.write(0x1000_010F, b"x")   # last byte inside
+        assert wp.signal.fires == 1
+
+    def test_unwatch(self, sim, mem):
+        wp = mem.watch(0x1000_0000, 4)
+        mem.unwatch(wp)
+        mem.write(0x1000_0000, b"\x01")
+        assert wp.signal.fires == 0
+
+    def test_watch_out_of_bounds_rejected(self, mem):
+        with pytest.raises(MemoryError_):
+            mem.watch(mem.end - 1, 2)
+
+
+class TestRangeAllocator:
+    def test_alloc_free_reuse(self):
+        alloc = RangeAllocator(0x1000, 0x1000)
+        a = alloc.alloc(0x100)
+        b = alloc.alloc(0x100)
+        assert a == 0x1000 and b == 0x1100
+        alloc.free(a)
+        c = alloc.alloc(0x80)
+        assert c == 0x1000  # first fit reuses the hole
+
+    def test_alignment(self):
+        alloc = RangeAllocator(0x1001, 0x10000)
+        a = alloc.alloc(0x10, alignment=0x100)
+        assert a % 0x100 == 0
+        assert a >= 0x1001
+
+    def test_exhaustion(self):
+        alloc = RangeAllocator(0, 0x100)
+        alloc.alloc(0x100)
+        with pytest.raises(OutOfSpace):
+            alloc.alloc(1)
+
+    def test_coalescing(self):
+        alloc = RangeAllocator(0, 0x300)
+        a = alloc.alloc(0x100)
+        b = alloc.alloc(0x100)
+        c = alloc.alloc(0x100)
+        alloc.free(a)
+        alloc.free(c)
+        alloc.free(b)  # middle free must merge with both neighbours
+        assert alloc.free_bytes == 0x300
+        assert alloc.alloc(0x300) == 0  # whole range again
+
+    def test_double_free_rejected(self):
+        alloc = RangeAllocator(0, 0x100)
+        a = alloc.alloc(0x10)
+        alloc.free(a)
+        with pytest.raises(ValueError):
+            alloc.free(a)
+
+    def test_invalid_args(self):
+        alloc = RangeAllocator(0, 0x100)
+        with pytest.raises(ValueError):
+            alloc.alloc(0)
+        with pytest.raises(ValueError):
+            alloc.alloc(8, alignment=3)
+        with pytest.raises(ValueError):
+            RangeAllocator(0, 0)
+
+    def test_accounting(self):
+        alloc = RangeAllocator(0, 0x1000)
+        a = alloc.alloc(0x200)
+        assert alloc.allocated_bytes == 0x200
+        assert alloc.free_bytes == 0xE00
+        assert alloc.owns(a)
+        assert alloc.allocation_size(a) == 0x200
+        assert not alloc.owns(a + 1)
+
+    @given(st.lists(st.integers(1, 128), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_alloc_all_free_all_restores_capacity(self, sizes):
+        alloc = RangeAllocator(0x4000, 64 * 1024)
+        addrs = []
+        for size in sizes:
+            addrs.append(alloc.alloc(size, alignment=1))
+        # no overlaps
+        spans = sorted((a, a + s) for a, s in zip(addrs, sizes))
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+        for addr in addrs:
+            alloc.free(addr)
+        assert alloc.free_bytes == 64 * 1024

@@ -1,0 +1,132 @@
+"""Unit tests for address maps and TLP wire-cost accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import PcieConfig
+from repro.pcie import (AddressError, AddressMap, completion_cost,
+                        read_request_cost, write_cost)
+
+
+class TestAddressMap:
+    def test_add_and_lookup(self):
+        m = AddressMap("t")
+        m.add(0x1000, 0x100, "ram")
+        m.add(0x2000, 0x100, "bar")
+        assert m.lookup(0x1000).target == "ram"
+        assert m.lookup(0x10FF).target == "ram"
+        assert m.lookup(0x2080, 0x10).target == "bar"
+
+    def test_unmapped_raises(self):
+        m = AddressMap("t")
+        m.add(0x1000, 0x100, "ram")
+        with pytest.raises(AddressError):
+            m.lookup(0xFFF)
+        with pytest.raises(AddressError):
+            m.lookup(0x1100)
+
+    def test_straddle_raises(self):
+        m = AddressMap("t")
+        m.add(0x1000, 0x100, "a")
+        m.add(0x1100, 0x100, "b")
+        with pytest.raises(AddressError, match="straddles"):
+            m.lookup(0x10F8, 0x10)
+
+    def test_overlap_rejected(self):
+        m = AddressMap("t")
+        m.add(0x1000, 0x100, "a")
+        with pytest.raises(AddressError):
+            m.add(0x10FF, 0x10, "b")
+        with pytest.raises(AddressError):
+            m.add(0x0FFF, 0x10, "c")
+        # adjacent is fine
+        m.add(0x1100, 0x10, "d")
+
+    def test_remove(self):
+        m = AddressMap("t")
+        mapping = m.add(0x1000, 0x100, "a")
+        m.remove(mapping)
+        with pytest.raises(AddressError):
+            m.lookup(0x1000)
+        with pytest.raises(AddressError):
+            m.remove(mapping)
+
+    def test_find_free_respects_existing(self):
+        m = AddressMap("t")
+        m.add(0x0000, 0x1000, "a")
+        m.add(0x2000, 0x1000, "b")
+        base = m.find_free(0x1000, start=0, limit=0x10000)
+        assert base == 0x1000
+        base2 = m.find_free(0x2000, start=0, limit=0x10000)
+        assert base2 == 0x3000
+
+    def test_find_free_exhausted(self):
+        m = AddressMap("t")
+        m.add(0x0000, 0x1000, "a")
+        with pytest.raises(AddressError):
+            m.find_free(0x1000, start=0, limit=0x1000)
+
+    @given(st.lists(st.tuples(st.integers(0, 63), st.integers(1, 16)),
+                    min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_lookup_always_finds_added_nonoverlapping(self, slots):
+        m = AddressMap("prop")
+        placed = {}
+        for slot, pages in slots:
+            base = slot * 0x100000
+            if any(base < b + s and b < base + pages * 0x1000
+                   for b, s in placed.items()):
+                continue
+            try:
+                m.add(base, pages * 0x1000, f"t{slot}")
+            except AddressError:
+                continue
+            placed[base] = pages * 0x1000
+        for base, size in placed.items():
+            assert m.lookup(base).base == base
+            assert m.lookup(base + size - 1).base == base
+
+
+class TestTlpCosts:
+    def setup_method(self):
+        self.cfg = PcieConfig()  # MPS 256, header 26, cpl header 20
+
+    def test_write_cost_single_packet(self):
+        c = write_cost(64, self.cfg)
+        assert c.packets == 1
+        assert c.bytes_on_wire == 64 + 26
+
+    def test_write_cost_chunking(self):
+        c = write_cost(4096, self.cfg)
+        assert c.packets == 16
+        assert c.bytes_on_wire == 4096 + 16 * 26
+
+    def test_zero_byte_write_is_header_only(self):
+        c = write_cost(0, self.cfg)
+        assert c.packets == 1 and c.bytes_on_wire == 26
+
+    def test_read_request_headers_only(self):
+        c = read_request_cost(4096, self.cfg)   # MRRS 512 -> 8 requests
+        assert c.packets == 8
+        assert c.bytes_on_wire == 8 * 26
+
+    def test_completion_carries_data(self):
+        c = completion_cost(4096, self.cfg)
+        assert c.packets == 16
+        assert c.bytes_on_wire == 4096 + 16 * 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            write_cost(-1, self.cfg)
+        with pytest.raises(ValueError):
+            read_request_cost(0, self.cfg)
+        with pytest.raises(ValueError):
+            completion_cost(0, self.cfg)
+
+    @given(st.integers(1, 1 << 20))
+    @settings(max_examples=60, deadline=None)
+    def test_wire_bytes_exceed_payload(self, size):
+        assert write_cost(size, self.cfg).bytes_on_wire > size
+        assert completion_cost(size, self.cfg).bytes_on_wire > size
+        assert read_request_cost(size, self.cfg).bytes_on_wire < size + 26 * 8192

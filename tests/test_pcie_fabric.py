@@ -1,0 +1,349 @@
+"""Integration tests for the PCIe fabric: routing, NTB windows, posted
+ordering, and contention."""
+
+import pytest
+
+from repro.config import PcieConfig
+from repro.pcie import (AddressError, Bar, Cluster, Fabric, NtbError,
+                        NtbFunction, PCIeFunction, TopologyError)
+from repro.sim import Simulator
+from repro.units import MiB
+
+
+class ScratchFunction(PCIeFunction):
+    """A device with a 4 KiB register BAR backed by plain bytes."""
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.add_bar(0, 4096)
+        self.backing = bytearray(4096)
+        self.write_log = []
+
+    def mmio_read(self, bar, offset, length):
+        return bytes(self.backing[offset: offset + length])
+
+    def mmio_write(self, bar, offset, data):
+        self.backing[offset: offset + len(data)] = data
+        self.write_log.append((self.sim.now, offset, bytes(data)))
+
+
+def build_two_host_cluster(seed=21):
+    """Fig. 9b-style layout: devicehost has an NVMe-like endpoint; both
+    hosts have NTB adapter chips cabled to a cluster switch."""
+    sim = Simulator(seed=seed)
+    cfg = PcieConfig()
+    cluster = Cluster(sim, cfg)
+
+    devhost = cluster.add_host("devhost", dram_size=64 * MiB)
+    client = cluster.add_host("client", dram_size=64 * MiB)
+
+    # device endpoint in devhost
+    dev_node = cluster.add_endpoint("devhost.dev", host=devhost)
+    cluster.connect(devhost.rc, dev_node, bandwidth=3.2)
+
+    # NTB adapters (switch chips) + cluster switch
+    adapter_a = cluster.add_switch("devhost.ntb-adapter", host=devhost)
+    adapter_b = cluster.add_switch("client.ntb-adapter", host=client)
+    xswitch = cluster.add_switch("cluster-switch")
+    cluster.connect(devhost.rc, adapter_a, bandwidth=7.0)
+    cluster.connect(client.rc, adapter_b, bandwidth=7.0)
+    cluster.connect(adapter_a, xswitch, bandwidth=7.0)
+    cluster.connect(adapter_b, xswitch, bandwidth=7.0)
+
+    fabric = Fabric(sim, cluster, cfg)
+
+    scratch = ScratchFunction(sim, "scratch")
+    scratch.install(devhost, dev_node, fabric)
+
+    ntb_a = NtbFunction(sim, "ntb-a", aperture=16 * MiB)
+    ntb_a.install(devhost, adapter_a, fabric)
+    ntb_b = NtbFunction(sim, "ntb-b", aperture=16 * MiB)
+    ntb_b.install(client, adapter_b, fabric)
+
+    return sim, cluster, fabric, devhost, client, scratch, ntb_a, ntb_b
+
+
+@pytest.fixture()
+def env():
+    return build_two_host_cluster()
+
+
+class TestLocalTransactions:
+    def test_cpu_reads_local_dram(self, env):
+        sim, cluster, fabric, devhost, *_ = env
+        addr = devhost.alloc_dma(4096)
+        devhost.memory.write(addr, b"\x5a" * 64)
+
+        def proc(sim):
+            data = yield from fabric.read(devhost.rc, devhost, addr, 64)
+            return (sim.now, data)
+
+        p = sim.process(proc(sim))
+        sim.run()
+        elapsed, data = p.value
+        assert data == b"\x5a" * 64
+        assert elapsed >= 90  # at least the DRAM service time
+
+    def test_cpu_mmio_write_reaches_device(self, env):
+        sim, cluster, fabric, devhost, client, scratch, *_ = env
+        bar = scratch.bars[0]
+        fabric.post_write(devhost.rc, devhost, bar.base + 0x10, b"\x01\x02")
+        sim.run()
+        assert scratch.backing[0x10:0x12] == b"\x01\x02"
+        (when, offset, data), = scratch.write_log
+        # one RC traversal + device write service + serialization
+        assert 150 <= when <= 400
+        assert offset == 0x10
+
+    def test_cpu_mmio_read_round_trip(self, env):
+        sim, cluster, fabric, devhost, client, scratch, *_ = env
+        scratch.backing[0:4] = b"\xaa\xbb\xcc\xdd"
+        bar = scratch.bars[0]
+
+        def proc(sim):
+            data = yield from fabric.read(devhost.rc, devhost, bar.base, 4)
+            return (sim.now, data)
+
+        p = sim.process(proc(sim))
+        sim.run()
+        elapsed, data = p.value
+        assert data == b"\xaa\xbb\xcc\xdd"
+        # round trip: 2 RC traversals + device read service
+        assert elapsed >= 2 * 150 + 120
+
+    def test_unmapped_address_raises(self, env):
+        sim, cluster, fabric, devhost, *_ = env
+
+        def proc(sim):
+            yield from fabric.read(devhost.rc, devhost, 0xDEAD_0000_0000, 4)
+
+        p = sim.process(proc(sim))
+        with pytest.raises(AddressError):
+            sim.run()
+
+    def test_device_dma_to_host_dram(self, env):
+        sim, cluster, fabric, devhost, client, scratch, *_ = env
+        addr = devhost.alloc_dma(4096)
+
+        def proc(sim):
+            yield from scratch.dma_write(addr, b"device-data")
+            data = yield from scratch.dma_read(addr, 11)
+            return data
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == b"device-data"
+
+
+class TestNtbWindows:
+    def test_window_write_lands_in_remote_dram(self, env):
+        sim, cluster, fabric, devhost, client, scratch, ntb_a, ntb_b = env
+        # client maps a window to devhost DRAM through its adapter NTB
+        remote = devhost.alloc_dma(8192)
+        local_addr = ntb_b.map_window(devhost, remote, 8192, label="seg")
+
+        def proc(sim):
+            yield from fabric.write(client.rc, client, local_addr + 0x20,
+                                    b"over-the-ntb")
+
+        sim.process(proc(sim))
+        sim.run()
+        assert devhost.memory.read(remote + 0x20, 12) == b"over-the-ntb"
+
+    def test_remote_write_slower_than_local(self, env):
+        sim, cluster, fabric, devhost, client, scratch, ntb_a, ntb_b = env
+        remote = devhost.alloc_dma(4096)
+        window = ntb_b.map_window(devhost, remote, 4096)
+        local = client.alloc_dma(4096)
+
+        def timed_write(sim, host, addr, results, tag):
+            start = sim.now
+            yield from fabric.write(host.rc, host, addr, b"x" * 64)
+            results[tag] = sim.now - start
+
+        results = {}
+        sim.process(timed_write(sim, client, local, results, "local"))
+        sim.run()
+        sim.process(timed_write(sim, client, window, results, "remote"))
+        sim.run()
+        # remote crosses 3 switch chips (>=300ns) + translation + remote RC
+        assert results["remote"] >= results["local"] + 300
+
+    def test_remote_read_round_trip_counts_chips_twice(self, env):
+        sim, cluster, fabric, devhost, client, scratch, ntb_a, ntb_b = env
+        remote = devhost.alloc_dma(4096)
+        devhost.memory.write(remote, b"R" * 512)
+        window = ntb_b.map_window(devhost, remote, 4096)
+        local = client.alloc_dma(4096)
+        client.memory.write(local, b"L" * 512)
+
+        def timed_read(sim, addr, results, tag):
+            start = sim.now
+            data = yield from fabric.read(client.rc, client, addr, 512)
+            results[tag] = (sim.now - start, data)
+
+        results = {}
+        sim.process(timed_read(sim, local, results, "local"))
+        sim.run()
+        sim.process(timed_read(sim, window, results, "remote"))
+        sim.run()
+        t_local, d_local = results["local"]
+        t_remote, d_remote = results["remote"]
+        assert d_remote == b"R" * 512
+        assert d_local == b"L" * 512
+        # 3 chips each way at >=100ns -> at least 600ns extra
+        assert t_remote >= t_local + 600
+
+    def test_window_to_remote_device_bar(self, env):
+        """Mapping the *device BAR* through the NTB (paper: clients map
+        doorbell registers of the remote NVMe)."""
+        sim, cluster, fabric, devhost, client, scratch, ntb_a, ntb_b = env
+        bar = scratch.bars[0]
+        window = ntb_b.map_window(devhost, bar.base, 4096, label="dev-bar")
+
+        def proc(sim):
+            yield from fabric.write(client.rc, client, window + 0x40,
+                                    b"\x99")
+
+        sim.process(proc(sim))
+        sim.run()
+        assert scratch.backing[0x40] == 0x99
+
+    def test_access_outside_window_raises(self, env):
+        sim, cluster, fabric, devhost, client, scratch, ntb_a, ntb_b = env
+        remote = devhost.alloc_dma(4096)
+        window = ntb_b.map_window(devhost, remote, 4096)
+        bar_base = ntb_b.bars[0].base
+        # aperture is mapped, but only [window, +4096) has a LUT entry
+        unmapped = bar_base + 8 * MiB
+
+        def proc(sim):
+            yield from fabric.write(client.rc, client, unmapped, b"x")
+
+        sim.process(proc(sim))
+        with pytest.raises(NtbError):
+            sim.run()
+
+    def test_unmap_window(self, env):
+        sim, cluster, fabric, devhost, client, scratch, ntb_a, ntb_b = env
+        remote = devhost.alloc_dma(4096)
+        window = ntb_b.map_window(devhost, remote, 4096)
+        assert ntb_b.window_count() == 1
+        ntb_b.unmap_window(window)
+        assert ntb_b.window_count() == 0
+        with pytest.raises(NtbError):
+            ntb_b.unmap_window(window)
+
+    def test_window_to_own_host_rejected(self, env):
+        sim, cluster, fabric, devhost, client, scratch, ntb_a, ntb_b = env
+        with pytest.raises(NtbError):
+            ntb_b.map_window(client, client.memory.base, 4096)
+
+
+class TestPostedOrdering:
+    def test_sqe_before_doorbell_invariant(self, env):
+        """Two posted writes from the same initiator to the same host must
+        arrive in submission order, despite per-chip latency jitter."""
+        sim, cluster, fabric, devhost, client, scratch, ntb_a, ntb_b = env
+        remote = devhost.alloc_dma(4096)
+        window = ntb_b.map_window(devhost, remote, 4096)
+        bar_window = ntb_b.map_window(devhost, scratch.bars[0].base, 4096)
+        arrivals = []
+
+        orig_write = devhost.memory.write
+
+        def spy(addr, data):
+            arrivals.append(("sqe", sim.now))
+            orig_write(addr, data)
+
+        devhost.memory.write = spy
+        orig_mmio = scratch.mmio_write
+
+        def spy_mmio(bar, offset, data):
+            arrivals.append(("doorbell", sim.now))
+            orig_mmio(bar, offset, data)
+
+        scratch.mmio_write = spy_mmio
+
+        def proc(sim):
+            for _ in range(50):
+                fabric.post_write(client.rc, client, window, b"\x11" * 64)
+                fabric.post_write(client.rc, client, bar_window, b"\x01")
+                yield sim.timeout(100)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert len(arrivals) == 100
+        for i in range(0, 100, 2):
+            assert arrivals[i][0] == "sqe"
+            assert arrivals[i + 1][0] == "doorbell"
+            assert arrivals[i][1] <= arrivals[i + 1][1]
+
+
+class TestContention:
+    def test_link_serialises_concurrent_bulk_transfers(self, env):
+        sim, cluster, fabric, devhost, client, scratch, ntb_a, ntb_b = env
+        remote = devhost.alloc_dma(2 * 64 * 1024)
+        window = ntb_b.map_window(devhost, remote, 2 * 64 * 1024)
+        done = {}
+
+        def writer(sim, tag, offset):
+            start = sim.now
+            yield from fabric.write(client.rc, client, window + offset,
+                                    b"z" * 64 * 1024)
+            done[tag] = sim.now - start
+
+        sim.process(writer(sim, "a", 0))
+        sim.process(writer(sim, "b", 64 * 1024))
+        sim.run()
+        # 64KiB at 7 B/ns ~ 9.4us serialization; the second transfer must
+        # queue behind the first on the shared links.
+        assert done["b"] >= done["a"] + 8_000
+
+    def test_sequential_writes_do_not_queue(self, env):
+        sim, cluster, fabric, devhost, client, scratch, ntb_a, ntb_b = env
+        remote = devhost.alloc_dma(64 * 1024)
+        window = ntb_b.map_window(devhost, remote, 64 * 1024)
+        durations = []
+
+        def proc(sim):
+            for _ in range(2):
+                start = sim.now
+                yield from fabric.write(client.rc, client, window,
+                                        b"z" * 4096)
+                durations.append(sim.now - start)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert abs(durations[0] - durations[1]) < 200  # only chip jitter
+
+
+class TestTopologyValidation:
+    def test_duplicate_host_rejected(self, env):
+        sim, cluster, *_ = env
+        with pytest.raises(TopologyError):
+            cluster.add_host("devhost")
+
+    def test_duplicate_connection_rejected(self, env):
+        sim, cluster, fabric, devhost, client, *_ = env
+        a = cluster.nodes["devhost.ntb-adapter"]
+        with pytest.raises(TopologyError):
+            cluster.connect(devhost.rc, a)
+
+    def test_no_path_raises(self, env):
+        sim, cluster, *_ = env
+        isolated = cluster.add_endpoint("isolated")
+        with pytest.raises(TopologyError):
+            cluster.path(cluster.hosts["client"].rc, isolated)
+
+    def test_path_is_memoised_and_symmetric(self, env):
+        sim, cluster, fabric, devhost, client, *_ = env
+        p1 = cluster.path(client.rc, devhost.rc)
+        p2 = cluster.path(devhost.rc, client.rc)
+        assert p1 == tuple(reversed(p2))
+        assert cluster.path(client.rc, devhost.rc) is p1  # cached
+
+    def test_install_twice_rejected(self, env):
+        sim, cluster, fabric, devhost, client, scratch, *_ = env
+        with pytest.raises(RuntimeError):
+            scratch.install(devhost, scratch.node, fabric)

@@ -1,0 +1,74 @@
+"""The manager running on a host *other than* the device's host —
+exercising the SmartIO promise that the driver "can run on any host in
+the network, operating a remote device anywhere in the cluster"."""
+
+import numpy as np
+import pytest
+
+from repro.driver import (BlockRequest, DistributedNvmeClient, NvmeManager)
+from repro.scenarios.testbed import PcieTestbed
+from repro.workloads import FioJob, run_fio
+
+
+def make_remote_managed_cluster(manager_host=1, n_hosts=3, seed=140):
+    bed = PcieTestbed(n_hosts=n_hosts, with_nvme=True, seed=seed)
+    manager = NvmeManager(bed.sim, bed.smartio, bed.node(manager_host),
+                          bed.nvme_device_id, bed.config)
+    bed.sim.run(until=bed.sim.process(manager.start()))
+    return bed, manager
+
+
+class TestRemoteManager:
+    def test_manager_on_remote_host_boots_controller(self):
+        bed, manager = make_remote_managed_cluster()
+        assert bed.nvme.regs.ready
+        # Admin queues live in the *manager's* host DRAM.
+        assert bed.hosts[1].memory.contains(manager.admin.sq.base_addr)
+        # And the device reaches them through a window on its own NTB.
+        assert bed.ntbs[0].window_count() >= 1
+
+    def test_metadata_advertised_from_manager_host(self):
+        bed, manager = make_remote_managed_cluster()
+        node_id, seg_id = bed.smartio.device_metadata(bed.nvme_device_id)
+        assert node_id == bed.node(1).node_id
+
+    def test_client_on_third_host_does_io(self):
+        bed, manager = make_remote_managed_cluster()
+        client = DistributedNvmeClient(bed.sim, bed.smartio, bed.node(2),
+                                       bed.nvme_device_id, bed.config)
+        bed.sim.run(until=bed.sim.process(client.start()))
+        payload = bytes((i * 5) % 256 for i in range(4096))
+
+        def flow(sim):
+            req = yield from client.io(BlockRequest("write", lba=9,
+                                                    data=payload))
+            assert req.ok
+            req = yield from client.io(BlockRequest("read", lba=9,
+                                                    nblocks=8))
+            return req
+
+        req = bed.sim.run(until=bed.sim.process(flow(bed.sim)))
+        assert req.ok and req.result == payload
+
+    def test_client_on_device_host_with_remote_manager(self):
+        """Management is off-host, but the data path stays local —
+        I/O latency must not depend on where the manager sits."""
+        bed, manager = make_remote_managed_cluster()
+        client = DistributedNvmeClient(bed.sim, bed.smartio, bed.node(0),
+                                       bed.nvme_device_id, bed.config)
+        bed.sim.run(until=bed.sim.process(client.start()))
+        result = run_fio(client, FioJob(rw="randread", total_ios=200,
+                                        ramp_ios=20))
+        med = result.summary("read").median
+        # Same band as ours-local with a local manager (~13.4 us).
+        assert 12_500 < med < 14_500
+
+    def test_remote_admin_commands_work(self):
+        bed, manager = make_remote_managed_cluster()
+
+        def flow(sim):
+            ident = yield from manager.admin.identify_controller()
+            return ident
+
+        ident = bed.sim.run(until=bed.sim.process(flow(bed.sim)))
+        assert "Optane" in ident.model

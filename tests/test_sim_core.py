@@ -1,0 +1,248 @@
+"""Unit tests for the discrete-event kernel core (events, clock, run)."""
+
+import pytest
+
+from repro.sim import Event, Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator(seed=1)
+
+
+class TestClock:
+    def test_starts_at_zero(self, sim):
+        assert sim.now == 0
+
+    def test_timeout_advances_clock(self, sim):
+        def proc(sim):
+            yield sim.timeout(250)
+            return sim.now
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == 250
+        assert sim.now == 250
+
+    def test_run_until_time_advances_even_with_no_events(self, sim):
+        sim.run(until=1_000)
+        assert sim.now == 1_000
+
+    def test_run_until_past_raises(self, sim):
+        sim.run(until=100)
+        with pytest.raises(ValueError):
+            sim.run(until=50)
+
+    def test_events_process_in_time_order(self, sim):
+        order = []
+
+        def proc(sim, delay, tag):
+            yield sim.timeout(delay)
+            order.append(tag)
+
+        sim.process(proc(sim, 30, "c"))
+        sim.process(proc(sim, 10, "a"))
+        sim.process(proc(sim, 20, "b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_order_for_simultaneous_events(self, sim):
+        order = []
+
+        def proc(sim, tag):
+            yield sim.timeout(5)
+            order.append(tag)
+
+        for tag in range(8):
+            sim.process(proc(sim, tag))
+        sim.run()
+        assert order == list(range(8))
+
+    def test_peek(self, sim):
+        assert sim.peek() is None
+        sim.timeout(40)
+        # The process-boot machinery is not involved for a bare timeout.
+        assert sim.peek() == 40
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self, sim):
+        ev = sim.event()
+        results = []
+
+        def proc(sim):
+            results.append((yield ev))
+
+        sim.process(proc(sim))
+        ev.succeed("payload", delay=10)
+        sim.run()
+        assert results == ["payload"]
+        assert ev.processed and ev.ok
+
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(RuntimeError):
+            ev.succeed(2)
+        with pytest.raises(RuntimeError):
+            ev.fail(ValueError("x"))
+
+    def test_fail_throws_into_process(self, sim):
+        ev = sim.event()
+        caught = []
+
+        def proc(sim):
+            try:
+                yield ev
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        sim.process(proc(sim))
+        ev.fail(ValueError("boom"))
+        sim.run()
+        assert caught == ["boom"]
+
+    def test_unhandled_failed_event_raises_from_run(self, sim):
+        ev = sim.event()
+        ev.fail(RuntimeError("nobody is listening"))
+        with pytest.raises(RuntimeError, match="nobody is listening"):
+            sim.run()
+
+    def test_defused_failure_does_not_raise(self, sim):
+        ev = sim.event()
+        ev.fail(RuntimeError("handled elsewhere"))
+        ev.defuse()
+        sim.run()
+
+    def test_value_before_trigger_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(RuntimeError):
+            _ = ev.value
+
+    def test_fail_requires_exception_instance(self, sim):
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_trigger_mirrors_outcome(self, sim):
+        src = sim.event()
+        dst = sim.event()
+        src.succeed(42)
+        sim.run()
+        dst.trigger(src)
+        sim.run()
+        assert dst.value == 42
+
+
+class TestRunUntilEvent:
+    def test_returns_event_value(self, sim):
+        def proc(sim):
+            yield sim.timeout(100)
+            return "finished"
+
+        p = sim.process(proc(sim))
+        assert sim.run(until=p) == "finished"
+        assert sim.now == 100
+
+    def test_failing_target_event_raises(self, sim):
+        def proc(sim):
+            yield sim.timeout(10)
+            raise KeyError("inner")
+
+        p = sim.process(proc(sim))
+        with pytest.raises(KeyError):
+            sim.run(until=p)
+
+    def test_starved_target_raises(self, sim):
+        ev = sim.event()  # never triggered
+        sim.timeout(5)
+        with pytest.raises(RuntimeError, match="ran out of events"):
+            sim.run(until=ev)
+
+    def test_negative_delay_rejected(self, sim):
+        ev = sim.event()
+        with pytest.raises(ValueError):
+            sim._schedule(ev, delay=-1)
+        with pytest.raises(ValueError):
+            sim.timeout(-5)
+
+
+class TestConditions:
+    def test_any_of_first_wins(self, sim):
+        def fast(sim):
+            yield sim.timeout(10)
+            return "fast"
+
+        def slow(sim):
+            yield sim.timeout(100)
+            return "slow"
+
+        results = []
+
+        def waiter(sim):
+            f, s = sim.process(fast(sim)), sim.process(slow(sim))
+            got = yield f | s
+            results.append((sim.now, list(got.values())))
+
+        sim.process(waiter(sim))
+        sim.run()
+        assert results == [(10, ["fast"])]
+
+    def test_all_of_waits_for_all(self, sim):
+        def worker(sim, d):
+            yield sim.timeout(d)
+            return d
+
+        results = []
+
+        def waiter(sim):
+            procs = [sim.process(worker(sim, d)) for d in (5, 50, 20)]
+            got = yield sim.all_of(procs)
+            results.append((sim.now, sorted(got.values())))
+
+        sim.process(waiter(sim))
+        sim.run()
+        assert results == [(50, [5, 20, 50])]
+
+    def test_all_of_empty_triggers_immediately(self, sim):
+        cond = sim.all_of([])
+        assert cond.triggered
+
+    def test_condition_rejects_foreign_events(self, sim):
+        other = Simulator(seed=2)
+        with pytest.raises(ValueError):
+            sim.all_of([sim.event(), other.event()])
+
+    def test_any_of_with_already_processed_event(self, sim):
+        ev = sim.event()
+        ev.succeed("early")
+        sim.run()
+        got = []
+
+        def waiter(sim):
+            value = yield sim.any_of([ev, sim.timeout(1000)])
+            got.append(list(value.values()))
+
+        sim.process(waiter(sim))
+        sim.run(until=10)
+        assert got == [["early"]]
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_traces(self):
+        def run_once(seed):
+            sim = Simulator(seed=seed)
+            samples = []
+
+            def proc(sim):
+                for _ in range(50):
+                    delay = sim.rng.uniform_ns("jitter", 50, 200)
+                    yield sim.timeout(delay)
+                    samples.append((sim.now, delay))
+
+            sim.process(proc(sim))
+            sim.run()
+            return samples
+
+        assert run_once(7) == run_once(7)
+        assert run_once(7) != run_once(8)

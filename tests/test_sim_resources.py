@@ -1,0 +1,221 @@
+"""Unit tests for Resource / Store / Signal primitives."""
+
+import pytest
+
+from repro.sim import Resource, Signal, Simulator, Store
+
+
+@pytest.fixture()
+def sim():
+    return Simulator(seed=5)
+
+
+class TestResource:
+    def test_capacity_one_serialises(self, sim):
+        res = Resource(sim, capacity=1)
+        spans = []
+
+        def worker(sim, tag):
+            req = res.request()
+            yield req
+            start = sim.now
+            yield sim.timeout(100)
+            res.release(req)
+            spans.append((tag, start, sim.now))
+
+        for tag in range(3):
+            sim.process(worker(sim, tag))
+        sim.run()
+        assert spans == [(0, 0, 100), (1, 100, 200), (2, 200, 300)]
+
+    def test_capacity_n_allows_parallelism(self, sim):
+        res = Resource(sim, capacity=2)
+        finished = []
+
+        def worker(sim, tag):
+            req = res.request()
+            yield req
+            yield sim.timeout(100)
+            res.release(req)
+            finished.append((tag, sim.now))
+
+        for tag in range(4):
+            sim.process(worker(sim, tag))
+        sim.run()
+        assert finished == [(0, 100), (1, 100), (2, 200), (3, 200)]
+
+    def test_fifo_grant_order(self, sim):
+        res = Resource(sim, capacity=1)
+        grants = []
+
+        def worker(sim, tag, arrive):
+            yield sim.timeout(arrive)
+            req = res.request()
+            yield req
+            grants.append(tag)
+            yield sim.timeout(50)
+            res.release(req)
+
+        for tag, arrive in [(0, 0), (1, 5), (2, 10), (3, 12)]:
+            sim.process(worker(sim, tag, arrive))
+        sim.run()
+        assert grants == [0, 1, 2, 3]
+
+    def test_release_cancels_waiting_request(self, sim):
+        res = Resource(sim, capacity=1)
+        holder = res.request()  # granted instantly
+        waiter = res.request()
+        assert res.queued == 1
+        res.release(waiter)  # cancel before grant
+        assert res.queued == 0
+        res.release(holder)
+        assert res.count == 0
+
+    def test_release_foreign_request_raises(self, sim):
+        res1 = Resource(sim, capacity=1)
+        res2 = Resource(sim, capacity=1)
+        req = res1.request()
+        with pytest.raises(RuntimeError):
+            res2.release(req)
+
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_acquire_subgenerator(self, sim):
+        res = Resource(sim, capacity=1)
+        out = []
+
+        def worker(sim):
+            req = yield from res.acquire()
+            out.append(sim.now)
+            yield sim.timeout(10)
+            res.release(req)
+
+        sim.process(worker(sim))
+        sim.process(worker(sim))
+        sim.run()
+        assert out == [0, 10]
+
+    def test_context_manager_releases(self, sim):
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def worker(sim, tag):
+            with res.request() as req:
+                yield req
+                order.append(tag)
+                yield sim.timeout(20)
+
+        sim.process(worker(sim, "a"))
+        sim.process(worker(sim, "b"))
+        sim.run()
+        assert order == ["a", "b"]
+        assert res.count == 0
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("x")
+        got = []
+
+        def getter(sim):
+            got.append((yield store.get()))
+
+        sim.process(getter(sim))
+        sim.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def getter(sim):
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        def putter(sim):
+            yield sim.timeout(40)
+            store.put("late")
+
+        sim.process(getter(sim))
+        sim.process(putter(sim))
+        sim.run()
+        assert got == [(40, "late")]
+
+    def test_fifo_ordering_of_items_and_getters(self, sim):
+        store = Store(sim)
+        got = []
+
+        def getter(sim, tag):
+            item = yield store.get()
+            got.append((tag, item))
+
+        sim.process(getter(sim, 0))
+        sim.process(getter(sim, 1))
+
+        def putter(sim):
+            yield sim.timeout(1)
+            store.put("first")
+            store.put("second")
+
+        sim.process(putter(sim))
+        sim.run()
+        assert got == [(0, "first"), (1, "second")]
+
+    def test_try_get(self, sim):
+        store = Store(sim)
+        assert store.try_get() is None
+        store.put(1)
+        assert len(store) == 1
+        assert store.try_get() == 1
+        assert store.try_get() is None
+
+
+class TestSignal:
+    def test_fire_wakes_all_waiters(self, sim):
+        sig = Signal(sim)
+        woken = []
+
+        def waiter(sim, tag):
+            value = yield sig.wait()
+            woken.append((tag, sim.now, value))
+
+        for tag in range(3):
+            sim.process(waiter(sim, tag))
+
+        def firer(sim):
+            yield sim.timeout(25)
+            sig.fire("edge")
+
+        sim.process(firer(sim))
+        sim.run()
+        assert woken == [(0, 25, "edge"), (1, 25, "edge"), (2, 25, "edge")]
+
+    def test_each_wait_sees_one_fire(self, sim):
+        sig = Signal(sim)
+        counts = []
+
+        def waiter(sim):
+            seen = 0
+            for _ in range(2):
+                yield sig.wait()
+                seen += 1
+            counts.append(seen)
+
+        def firer(sim):
+            for _ in range(2):
+                yield sim.timeout(10)
+                sig.fire()
+
+        sim.process(waiter(sim))
+        sim.process(firer(sim))
+        sim.run()
+        assert counts == [2]
+        assert sig.fires == 2
+
+    def test_fire_with_no_waiters_is_noop(self, sim):
+        sig = Signal(sim)
+        sig.fire()
+        assert sig.fires == 1

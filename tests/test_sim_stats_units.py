@@ -1,0 +1,192 @@
+"""Tests for stats, RNG registry, tracing and unit helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import BoxplotStats, LatencyRecorder, Simulator, Tracer
+from repro.sim.stats import Counter, iops, throughput_bytes_per_s
+from repro.units import (KiB, MiB, fmt_ns, fmt_size, gbit_per_s, gb_per_s,
+                         ns_to_us, parse_size, serialize_ns, us)
+
+
+class TestLatencyRecorder:
+    def test_record_and_summary(self):
+        rec = LatencyRecorder("t")
+        for v in [100, 200, 300, 400, 500]:
+            rec.record(v)
+        s = rec.summary()
+        assert s.count == 5
+        assert s.minimum == 100
+        assert s.maximum == 500
+        assert s.median == 300
+
+    def test_growth_beyond_initial_capacity(self):
+        rec = LatencyRecorder("grow", initial_capacity=16)
+        for v in range(1000):
+            rec.record(v)
+        assert len(rec) == 1000
+        assert rec.values()[-1] == 999
+
+    def test_negative_rejected(self):
+        rec = LatencyRecorder()
+        with pytest.raises(ValueError):
+            rec.record(-1)
+
+    def test_empty_summary_raises(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().summary()
+
+    def test_values_view_is_readonly(self):
+        rec = LatencyRecorder()
+        rec.record(5)
+        view = rec.values()
+        with pytest.raises(ValueError):
+            view[0] = 9
+
+    def test_merge(self):
+        a, b = LatencyRecorder("a"), LatencyRecorder("b")
+        a.record(1)
+        b.record(2)
+        b.record(3)
+        a.merge(b)
+        assert sorted(a.values().tolist()) == [1, 2, 3]
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9),
+                    min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_summary_invariants(self, values):
+        stats = BoxplotStats.from_values(values)
+        assert stats.minimum <= stats.q1 <= stats.median
+        assert stats.median <= stats.q3 <= stats.p99 <= stats.maximum
+        assert stats.minimum <= stats.mean <= stats.maximum
+        assert stats.count == len(values)
+
+    def test_as_us(self):
+        stats = BoxplotStats.from_values([1000, 2000, 3000])
+        u = stats.as_us()
+        assert u["min"] == 1.0 and u["max"] == 3.0
+
+    def test_str_contains_fields(self):
+        s = str(BoxplotStats.from_values([1500], name="x"))
+        assert "x" in s and "min=1.50us" in s
+
+
+class TestCounters:
+    def test_counter(self):
+        c = Counter()
+        c.add("ios")
+        c.add("ios", 4)
+        assert c.get("ios") == 5
+        assert c.get("missing") == 0
+        assert c.as_dict() == {"ios": 5}
+
+    def test_iops(self):
+        assert iops(1000, 1_000_000_000) == pytest.approx(1000.0)
+        assert iops(5, 0) == 0.0
+
+    def test_throughput(self):
+        assert throughput_bytes_per_s(4096, 1_000) == pytest.approx(4096e6)
+
+
+class TestRng:
+    def test_streams_independent_of_creation_order(self):
+        a = Simulator(seed=11)
+        b = Simulator(seed=11)
+        # Create streams in different orders — values must match per-name.
+        a_x = [a.rng.uniform_ns("x", 0, 1000) for _ in range(5)]
+        a_y = [a.rng.uniform_ns("y", 0, 1000) for _ in range(5)]
+        b_y = [b.rng.uniform_ns("y", 0, 1000) for _ in range(5)]
+        b_x = [b.rng.uniform_ns("x", 0, 1000) for _ in range(5)]
+        assert a_x == b_x
+        assert a_y == b_y
+
+    def test_uniform_bounds(self):
+        sim = Simulator(seed=2)
+        draws = [sim.rng.uniform_ns("u", 100, 150) for _ in range(500)]
+        assert min(draws) >= 100 and max(draws) <= 150
+
+    def test_uniform_degenerate(self):
+        sim = Simulator(seed=2)
+        assert sim.rng.uniform_ns("u", 5, 5) == 5
+        with pytest.raises(ValueError):
+            sim.rng.uniform_ns("u", 5, 4)
+
+    def test_lognormal_median_and_cap(self):
+        sim = Simulator(seed=3)
+        draws = np.array([sim.rng.lognormal_ns("m", 8000, 0.05, cap=9000)
+                          for _ in range(2000)])
+        assert abs(np.median(draws) - 8000) < 250
+        assert draws.max() <= 9000
+
+
+class TestTracer:
+    def test_emit_and_filter(self):
+        sim = Simulator(seed=1)
+        tracer = Tracer(sim)
+        tracer.emit("nvme", "fetch", sq=1)
+        tracer.emit("pcie", "route")
+        assert len(tracer.records) == 2
+        assert tracer.filter("nvme")[0].payload == {"sq": 1}
+
+    def test_category_filtering(self):
+        sim = Simulator(seed=1)
+        tracer = Tracer(sim, categories={"nvme"})
+        tracer.emit("pcie", "dropped")
+        tracer.emit("nvme", "kept")
+        assert [r.message for r in tracer.records] == ["kept"]
+
+    def test_disable_enable(self):
+        sim = Simulator(seed=1)
+        tracer = Tracer(sim)
+        tracer.disable()
+        tracer.emit("x", "dropped")
+        tracer.enable()
+        tracer.emit("x", "kept")
+        assert [r.message for r in tracer.records] == ["kept"]
+
+
+class TestUnits:
+    def test_time_conversions(self):
+        assert us(7.7) == 7700
+        assert ns_to_us(2500) == 2.5
+
+    def test_bandwidth(self):
+        assert gb_per_s(3.2) == 3.2
+        assert gbit_per_s(100) == 12.5
+
+    def test_serialize(self):
+        assert serialize_ns(0, 1.0) == 0
+        assert serialize_ns(4096, 4.0) == 1024
+        assert serialize_ns(1, 100.0) == 1  # minimum 1 ns
+        with pytest.raises(ValueError):
+            serialize_ns(10, 0)
+
+    def test_fmt(self):
+        assert fmt_ns(500) == "500ns"
+        assert fmt_ns(2500) == "2.50us"
+        assert "ms" in fmt_ns(3_000_000)
+        assert "s" in fmt_ns(2_000_000_000)
+        assert fmt_size(512) == "512B"
+        assert fmt_size(4096) == "4.00KiB"
+        assert "MiB" in fmt_size(2 * MiB)
+        assert "GiB" in fmt_size(3 * 1024 * MiB)
+
+    @pytest.mark.parametrize("text,expected", [
+        ("4k", 4 * KiB),
+        ("4K", 4 * KiB),
+        ("4kb", 4 * KiB),
+        ("4KiB", 4 * KiB),
+        ("512", 512),
+        ("1m", MiB),
+        ("2g", 2 * 1024 * MiB),
+        ("0.5k", 512),
+    ])
+    def test_parse_size(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "k", "x4", "4x", "-1k"])
+    def test_parse_size_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)

@@ -1,0 +1,65 @@
+"""Tests for the timeline analysis module."""
+
+import pytest
+
+from repro.analysis import events_from_trace, render_timeline
+from repro.sim.trace import TraceRecord
+
+
+def rec(time, message, **payload):
+    return TraceRecord(time, "nvme", message, payload)
+
+
+class TestEventsFromTrace:
+    def test_projection_and_ordering(self):
+        records = [
+            rec(300, "fetched", qid=1, opcode=2, cid=7),
+            rec(100, "doorbell", qid=1, cq=False, value=1),
+            rec(900, "completed", qid=1, cid=7, status=0),
+            TraceRecord(50, "pcie", "write-delivered",
+                        {"addr": 1, "final": 2, "size": 64,
+                         "crossings": 1}),
+        ]
+        events = events_from_trace(records)
+        assert [e.time_ns for e in events] == [50, 100, 300, 900]
+        assert events[0].lane == "fabric"
+        assert "64B" in events[0].label
+        assert "cid=7" in events[2].label
+
+    def test_qid_filter(self):
+        records = [rec(1, "fetched", qid=1, opcode=2, cid=1),
+                   rec(2, "fetched", qid=2, opcode=2, cid=2)]
+        events = events_from_trace(records, qid=2)
+        assert len(events) == 1
+        assert "cid=2" in events[0].label
+
+    def test_unknown_messages_skipped(self):
+        records = [rec(1, "mystery", foo=1)]
+        assert events_from_trace(records) == []
+
+    def test_missing_payload_fields_degrade_gracefully(self):
+        records = [rec(5, "doorbell")]   # no value/cq fields
+        events = events_from_trace(records)
+        assert events[0].label == "doorbell"
+
+
+class TestRenderTimeline:
+    def test_empty(self):
+        assert render_timeline([]) == "(no events)"
+
+    def test_relative_times_and_lanes(self):
+        events = events_from_trace([
+            rec(1_000, "doorbell", qid=1, cq=False, value=3),
+            rec(2_500, "completed", qid=1, cid=3, status=0),
+        ])
+        art = render_timeline(events, origin_ns=1_000)
+        assert "+    0.000us" in art
+        assert "+    1.500us" in art
+        assert "controller" in art
+
+    def test_truncation(self):
+        events = events_from_trace(
+            [rec(i, "doorbell", qid=1, cq=False, value=i)
+             for i in range(100)])
+        art = render_timeline(events, max_events=10)
+        assert "90 more events" in art

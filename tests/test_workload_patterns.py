@@ -1,0 +1,107 @@
+"""Tests for the realistic-workload pattern layer."""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import ours_remote
+from repro.sim import Simulator
+from repro.workloads import (BurstyArrivals, MixedBlockProfile, PROFILES,
+                             ZipfianAccess, run_pattern)
+
+
+class TestZipfianAccess:
+    def test_skewed_popularity(self):
+        sim = Simulator(seed=300)
+        rng = sim.rng.stream("z")
+        access = ZipfianAccess(region_lbas=8192 * 8, alpha=1.3,
+                               hot_slots=512)
+        sample = access.sampler(rng, lba_per_io=8)
+        draws = np.array([sample() for _ in range(4000)])
+        values, counts = np.unique(draws, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        # Top 10% of blocks get the majority of accesses.
+        top = counts[: max(1, len(counts) // 10)].sum()
+        assert top > 0.45 * counts.sum()
+        # All draws are aligned and in range.
+        assert (draws % 8 == 0).all()
+        assert draws.max() < 8192 * 8
+
+    def test_region_too_small(self):
+        sim = Simulator(seed=301)
+        access = ZipfianAccess(region_lbas=4)
+        with pytest.raises(ValueError):
+            access.sampler(sim.rng.stream("z"), lba_per_io=8)
+
+
+class TestBurstyArrivals:
+    def test_burst_stats(self):
+        sim = Simulator(seed=302)
+        rng = sim.rng.stream("b")
+        arrivals = BurstyArrivals(burst_len_mean=8.0,
+                                  think_time_mean_ns=100_000)
+        bursts, thinks = zip(*(arrivals.next_burst(rng)
+                               for _ in range(2000)))
+        assert 6 < np.mean(bursts) < 10
+        assert 80_000 < np.mean(thinks) < 120_000
+        assert min(bursts) >= 1
+
+
+class TestProfiles:
+    def test_presets_exist(self):
+        assert set(PROFILES) == {"oltp", "webserver", "backup"}
+
+    def test_profile_sampler_respects_mix(self):
+        sim = Simulator(seed=303)
+        rng = sim.rng.stream("p")
+        sample = PROFILES["webserver"].sampler(rng)
+        draws = [sample() for _ in range(3000)]
+        sizes = np.array([d[0] for d in draws])
+        reads = np.array([d[1] for d in draws])
+        assert 0.55 < np.mean(sizes == 4096) < 0.75
+        assert np.mean(reads) > 0.95
+
+    def test_oltp_mix(self):
+        sim = Simulator(seed=304)
+        sample = PROFILES["oltp"].sampler(sim.rng.stream("p"))
+        draws = [sample() for _ in range(2000)]
+        assert all(d[0] == 8192 for d in draws)
+        assert 0.62 < np.mean([d[1] for d in draws]) < 0.78
+
+
+class TestRunPattern:
+    def test_oltp_on_remote_device(self):
+        scenario = ours_remote(seed=305)
+        result = run_pattern(scenario.device, PROFILES["oltp"],
+                             total_ios=200,
+                             access=ZipfianAccess(region_lbas=1 << 20),
+                             concurrency=4)
+        assert result.ios == 200
+        assert result.errors == 0
+        assert result.iops > 0
+        assert len(result.latencies) == 200
+
+    def test_bursty_load_stretches_wall_clock(self):
+        closed = run_pattern(ours_remote(seed=306).device,
+                             PROFILES["oltp"], total_ios=100,
+                             concurrency=2)
+        bursty = run_pattern(ours_remote(seed=306).device,
+                             PROFILES["oltp"], total_ios=100,
+                             arrivals=BurstyArrivals(
+                                 burst_len_mean=4,
+                                 think_time_mean_ns=500_000),
+                             concurrency=2)
+        assert bursty.elapsed_ns > closed.elapsed_ns
+        assert bursty.iops < closed.iops
+
+    def test_backup_profile_moves_big_blocks(self):
+        scenario = ours_remote(seed=307)
+        result = run_pattern(scenario.device, PROFILES["backup"],
+                             total_ios=40, concurrency=4)
+        assert result.bytes_moved == 40 * 131072
+        assert result.errors == 0
+
+    def test_custom_profile(self):
+        profile = MixedBlockProfile("tiny", ((512, 1.0, 0.5),))
+        scenario = ours_remote(seed=308)
+        result = run_pattern(scenario.device, profile, total_ios=60)
+        assert result.ios == 60
