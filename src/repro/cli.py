@@ -45,8 +45,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"  {result.ios} I/Os, {result.iops / 1e3:.1f} kIOPS, "
           f"{result.bandwidth_bytes_per_s / 1e9:.2f} GB/s, "
           f"{result.errors} errors")
-    for op, rec in (("read", result.read_latencies),
-                    ("write", result.write_latencies)):
+    for rec in (result.read_latencies, result.write_latencies):
         if len(rec):
             print(f"  {rec.summary()}")
     return 0
@@ -103,6 +102,18 @@ def _cmd_multihost(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_staticcheck(args: argparse.Namespace) -> int:
+    # Imported lazily: the checker is a dev tool and pulls in nothing
+    # the simulation needs.
+    from .staticcheck import main as staticcheck_main
+    argv = list(args.paths)
+    if args.select:
+        argv += ["--select", args.select]
+    if args.json:
+        argv += ["--format", "json"]
+    return staticcheck_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -142,6 +153,15 @@ def build_parser() -> argparse.ArgumentParser:
     mh.add_argument("--ios", type=int, default=300)
     mh.add_argument("--seed", type=int, default=42)
     mh.set_defaults(func=_cmd_multihost)
+
+    sc = sub.add_parser("staticcheck",
+                        help="run the AST invariant checker "
+                             "(determinism, posted writes, units)")
+    sc.add_argument("paths", nargs="*", default=["src"])
+    sc.add_argument("--select", help="comma-separated rule names")
+    sc.add_argument("--json", action="store_true",
+                    help="machine-readable output")
+    sc.set_defaults(func=_cmd_staticcheck)
     return parser
 
 

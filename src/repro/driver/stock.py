@@ -50,7 +50,6 @@ class StockNvmeDriver(BlockDevice):
 
     def start(self) -> t.Generator:
         """Enable the controller, set up one I/O queue pair + MSI-X."""
-        cfg = self.config
         yield from self.admin.enable_controller()
         ident_ns = yield from self.admin.identify_namespace(1)
         self.lba_bytes = ident_ns.lba_bytes
@@ -145,7 +144,7 @@ class StockNvmeDriver(BlockDevice):
         while True:
             yield wp.signal.wait()
             yield self.sim.timeout(cfg.interrupt_latency_ns)
-            drained = self._drain_cq()
+            self._drain_cq()
             # A completion that raced the drain re-fires the watchpoint.
 
     def _drain_cq(self) -> int:

@@ -105,7 +105,7 @@ class SpdkTarget:
 
         # Receive buffers for command capsules (header+SQE+inline 4 KiB).
         capsule_bytes = 8192
-        for i in range(queue_depth * 2):
+        for _ in range(queue_depth * 2):
             addr = self.host.alloc_dma(capsule_bytes)
             self.pd.register(addr, capsule_bytes)
             qp.post_recv(RecvWR(wr_id=addr, addr=addr,

@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.staticcheck <paths>``."""
+
+import sys
+
+from .runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

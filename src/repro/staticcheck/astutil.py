@@ -1,0 +1,73 @@
+"""Small AST helpers shared by the rule plugins."""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render a ``Name``/``Attribute`` chain as ``"a.b.c"``.
+
+    Returns ``None`` for anything that is not a pure attribute chain
+    (calls, subscripts, literals...), because those have no stable
+    dotted spelling.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def iter_functions(tree: ast.AST) -> t.Iterator[
+        tuple[ast.ClassDef | None, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Yield ``(enclosing_class_or_None, function)`` once per def."""
+    methods: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    methods.add(id(item))
+                    yield node, item
+    for node in ast.walk(tree):
+        if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and id(node) not in methods):
+            yield None, node
+
+
+def local_walk(fn: ast.FunctionDef | ast.AsyncFunctionDef
+               ) -> t.Iterator[ast.AST]:
+    """Walk a function body *without* descending into nested defs.
+
+    Lambdas are included (they execute in the enclosing scope's dynamic
+    extent), nested ``def``/``class`` bodies are not.
+    """
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def has_own_yield(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """True if the function body itself contains ``yield``/``yield from``."""
+    return any(isinstance(node, (ast.Yield, ast.YieldFrom))
+               for node in local_walk(fn))
+
+
+def call_names_in(node: ast.AST) -> set[str]:
+    """Dotted names of every call target in the subtree of ``node``."""
+    names = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            name = dotted_name(sub.func)
+            if name is not None:
+                names.add(name)
+    return names

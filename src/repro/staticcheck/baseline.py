@@ -1,0 +1,38 @@
+"""Baseline file: a set of accepted finding fingerprints.
+
+The baseline exists so the checker can be introduced into a tree with
+pre-existing findings and still fail on *new* ones.  Policy for this
+repo (see docs/static_analysis.md): prefer an explicit, justified
+``# staticcheck: ignore[rule]`` at the site; use the baseline only for
+bulk imports of third-party code.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing as t
+
+from .findings import Finding
+
+VERSION = 1
+
+
+def load(path: str | pathlib.Path) -> set[str]:
+    """Fingerprints accepted by the baseline at ``path``."""
+    data = json.loads(pathlib.Path(path).read_text())
+    if data.get("version") != VERSION:
+        raise ValueError(f"unsupported baseline version in {path}")
+    return set(data.get("fingerprints", {}))
+
+
+def write(path: str | pathlib.Path, findings: t.Iterable[Finding]) -> int:
+    """Write a baseline accepting every given finding; returns the count."""
+    fingerprints = {
+        f.fingerprint(): f"{f.path}:{f.line} [{f.rule}] {f.message}"
+        for f in findings
+    }
+    blob = json.dumps({"version": VERSION, "fingerprints": fingerprints},
+                      indent=2, sort_keys=True)
+    pathlib.Path(path).write_text(blob + "\n")
+    return len(fingerprints)

@@ -1,0 +1,60 @@
+"""Rule plugin base class and the per-file analysis context."""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import typing as t
+
+from .findings import Finding
+
+
+@dataclasses.dataclass
+class FileContext:
+    """Everything a rule may look at for one file.
+
+    The AST is parsed exactly once by the runner and shared by every
+    rule; rules must treat it as read-only.
+    """
+
+    path: str               #: display path, posix separators
+    module_rel: str         #: path from the last ``repro`` component down
+    tree: ast.Module
+    source: str
+    lines: list[str]        #: source split into lines (0-based access)
+
+    def line_text(self, lineno: int) -> str:
+        """Source text of a 1-based line number ('' when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Rule:
+    """Base class for rule plugins.
+
+    Subclasses set :attr:`name` (the id used in ``ignore[...]`` and
+    ``--select``) and :attr:`summary`, then implement :meth:`check`.
+    Scoping decisions (which files the rule cares about) belong in
+    :meth:`applies`, so the runner can skip whole files cheaply.
+    """
+
+    name: str = ""
+    summary: str = ""
+
+    def applies(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> t.Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # -- helpers -------------------------------------------------------------
+
+    def finding(self, ctx: FileContext, node: ast.AST,
+                message: str) -> Finding:
+        """Build a finding anchored at an AST node."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(rule=self.name, path=ctx.path, line=line, col=col,
+                       message=message, source_line=ctx.line_text(line))

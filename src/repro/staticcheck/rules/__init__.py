@@ -1,0 +1,11 @@
+"""Built-in rule plugins.
+
+Importing this package registers every bundled rule.  To add a rule,
+create a module here with a :class:`~repro.staticcheck.rule.Rule`
+subclass decorated with :func:`~repro.staticcheck.registry.register`,
+then import it below (and add fixture tests — see
+docs/static_analysis.md).
+"""
+
+from . import (doorbell_order, nonposted_hotpath, no_wallclock,  # noqa: F401
+               process_yields, seeded_rng, units_discipline)

@@ -1,0 +1,115 @@
+"""Rule ``doorbell-after-sq-write``: ring doorbells after queue writes.
+
+The NVMe contract: the controller may fetch an SQE the instant the SQ
+tail doorbell is written, so the SQE store must be globally visible
+first.  On this model's fabric both are posted writes and PCIe posted
+ordering preserves program order — *provided the program order is
+right*.  A doorbell ring that lexically precedes the queue-memory write
+(or a CQ head doorbell before the CQE is consumed) hands the device a
+stale entry; exactly the bug class the NVMe-virtualization literature
+keeps rediscovering in software queue paths.
+
+Per function: every expression that evaluates ``sq_doorbell_offset``
+must be preceded by a queue-memory write call.  Writes that mention
+``.pack()`` or ``slot_addr`` are recognised as *SQE stores*; when a
+function contains any, the doorbell must follow one of those
+specifically (a mere data-buffer copy before the ring does not count).
+Every ``cq_doorbell_offset`` ring must follow a ``.consume()`` when the
+function consumes CQEs at all (pure ring helpers are exempt — the
+consume happens in their caller).
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+
+from ..astutil import dotted_name, iter_functions, local_walk
+from ..findings import Finding
+from ..registry import register
+from ..rule import FileContext, Rule
+
+_WRITE_ATTRS = frozenset({"write", "write_wait", "_reg_write",
+                          "reg_write"})
+
+
+def _is_sqe_store(call: ast.Call) -> bool:
+    """Write call that visibly stores a submission entry."""
+    for sub in ast.walk(call):
+        if (isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "pack"):
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == "slot_addr":
+            return True
+    return False
+
+
+def _doorbell_kind(call: ast.Call) -> str | None:
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    leaf = name.rsplit(".", 1)[-1]
+    if leaf == "sq_doorbell_offset":
+        return "sq"
+    if leaf == "cq_doorbell_offset":
+        return "cq"
+    return None
+
+
+@register
+class DoorbellAfterSqWrite(Rule):
+    name = "doorbell-after-sq-write"
+    summary = "doorbell rings must lexically follow the queue write"
+
+    def check(self, ctx: FileContext) -> t.Iterator[Finding]:
+        for _cls, fn in iter_functions(ctx.tree):
+            yield from self._check_function(ctx, fn)
+
+    def _check_function(self, ctx: FileContext,
+                        fn: ast.FunctionDef | ast.AsyncFunctionDef
+                        ) -> t.Iterator[Finding]:
+        rings: list[tuple[str, ast.Call]] = []
+        sqe_writes: list[int] = []
+        generic_writes: list[int] = []
+        consumes: list[int] = []
+        for node in local_walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            kind = _doorbell_kind(node)
+            if kind is not None:
+                rings.append((kind, node))
+                continue
+            if isinstance(node.func, ast.Attribute):
+                if node.func.attr in _WRITE_ATTRS:
+                    # A write that *carries* the doorbell (e.g. a
+                    # multi-line _reg_write(sq_doorbell_offset(...), ..))
+                    # is the ring itself, not a preceding queue write.
+                    if any(isinstance(sub, ast.Call)
+                           and _doorbell_kind(sub)
+                           for sub in ast.walk(node)):
+                        continue
+                    (sqe_writes if _is_sqe_store(node)
+                     else generic_writes).append(node.lineno)
+                elif node.func.attr == "consume":
+                    consumes.append(node.lineno)
+        for kind, ring in rings:
+            if kind == "sq":
+                # When the function visibly stores SQEs, the ring must
+                # follow one of *those*; plain writes only stand in
+                # when no SQE store is recognisable at all.
+                required = sqe_writes or generic_writes
+                if not any(line < ring.lineno for line in required):
+                    yield self.finding(
+                        ctx, ring,
+                        "SQ doorbell rung before the queue-memory "
+                        "write in this function: the controller may "
+                        "fetch a stale SQE")
+            else:
+                if consumes and not any(line < ring.lineno
+                                        for line in consumes):
+                    yield self.finding(
+                        ctx, ring,
+                        "CQ doorbell rung before any cq.consume() in "
+                        "this function: the head update would expose "
+                        "unconsumed CQE slots")

@@ -1,0 +1,59 @@
+"""Rule ``no-wallclock``: simulation code must not read the host clock.
+
+Simulated time is :attr:`Simulator.now`; a ``time.time()`` or
+``datetime.now()`` anywhere in the model leaks real time into results
+and destroys bit-for-bit reproducibility of benchmark runs.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+
+from ..astutil import dotted_name
+from ..findings import Finding
+from ..registry import register
+from ..rule import FileContext, Rule
+
+#: attributes of the ``time`` module that read the host clock
+BANNED_TIME = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+    "monotonic_ns", "process_time", "process_time_ns", "clock_gettime",
+    "clock_gettime_ns",
+})
+#: constructors on ``datetime``/``date`` objects that read the host clock
+BANNED_DATETIME = frozenset({"now", "utcnow", "today"})
+
+
+@register
+class NoWallclock(Rule):
+    name = "no-wallclock"
+    summary = "no host-clock reads (time.time, datetime.now, ...)"
+
+    def check(self, ctx: FileContext) -> t.Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                banned = [a.name for a in node.names
+                          if a.name in BANNED_TIME]
+                if banned:
+                    yield self.finding(
+                        ctx, node,
+                        f"importing {', '.join(banned)} from time reads "
+                        f"the host clock; use Simulator.now")
+            elif isinstance(node, ast.Attribute):
+                name = dotted_name(node)
+                if name is None:
+                    continue
+                parts = name.split(".")
+                if (len(parts) == 2 and parts[0] == "time"
+                        and parts[1] in BANNED_TIME):
+                    yield self.finding(
+                        ctx, node,
+                        f"{name} reads the host clock and breaks sim "
+                        f"determinism; use Simulator.now")
+                elif (parts[-1] in BANNED_DATETIME
+                        and parts[-2] in ("datetime", "date")):
+                    yield self.finding(
+                        ctx, node,
+                        f"{name} reads the host clock and breaks sim "
+                        f"determinism; use Simulator.now")

@@ -1,0 +1,75 @@
+"""Rule ``sim-process-yields``: processes must be generators.
+
+:meth:`repro.sim.core.Simulator.process` drives a *generator*; handing
+it a plain function call runs the body eagerly at spawn time and then
+crashes (or worse, silently does nothing at time zero and never again).
+For every ``<obj>.process(fn(...))`` whose callee is resolvable in the
+same module — ``self.method`` in the enclosing class, or a module-level
+function — require the callee to contain a ``yield``/``yield from``.
+Callees that ``return`` a value are skipped: they may be factories
+returning a generator built elsewhere.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+
+from ..astutil import dotted_name, has_own_yield, iter_functions, local_walk
+from ..findings import Finding
+from ..registry import register
+from ..rule import FileContext, Rule
+
+
+def _returns_value(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return any(isinstance(node, ast.Return) and node.value is not None
+               for node in local_walk(fn))
+
+
+@register
+class SimProcessYields(Rule):
+    name = "sim-process-yields"
+    summary = "functions handed to Simulator.process must yield"
+
+    def check(self, ctx: FileContext) -> t.Iterator[Finding]:
+        module_fns = {node.name: node for node in ctx.tree.body
+                      if isinstance(node, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef))}
+        for cls, fn in iter_functions(ctx.tree):
+            methods = {}
+            if cls is not None:
+                methods = {item.name: item for item in cls.body
+                           if isinstance(item, (ast.FunctionDef,
+                                                ast.AsyncFunctionDef))}
+            for node in local_walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                if (name is None
+                        or name.rsplit(".", 1)[-1] != "process"
+                        or not node.args
+                        or not isinstance(node.args[0], ast.Call)):
+                    continue
+                callee = self._resolve(node.args[0].func, methods,
+                                       module_fns)
+                if (callee is not None and not has_own_yield(callee)
+                        and not _returns_value(callee)):
+                    yield self.finding(
+                        ctx, node,
+                        f"{callee.name}() handed to process() contains "
+                        f"no yield: the simulator needs a generator, "
+                        f"this would run eagerly and die at spawn")
+
+    @staticmethod
+    def _resolve(func: ast.AST,
+                 methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef],
+                 module_fns: dict[str, ast.FunctionDef | ast.AsyncFunctionDef],
+                 ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        name = dotted_name(func)
+        if name is None:
+            return None
+        if name.startswith("self.") and name.count(".") == 1:
+            return methods.get(name.split(".", 1)[1])
+        if "." not in name:
+            return module_fns.get(name)
+        return None

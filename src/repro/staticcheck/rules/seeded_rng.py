@@ -1,0 +1,75 @@
+"""Rule ``seeded-rng-only``: randomness flows through ``RngRegistry``.
+
+Every stochastic component draws from its own named stream of
+:class:`repro.sim.rng.RngRegistry` so that (a) runs are reproducible
+from one master seed and (b) adding a component never perturbs another
+component's stream.  Bare ``random.*`` uses the process-global
+generator and ``np.random.default_rng()`` with no fixed seed uses OS
+entropy — both silently break that contract.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+
+from ..astutil import dotted_name
+from ..findings import Finding
+from ..registry import register
+from ..rule import FileContext, Rule
+
+#: the one module allowed to construct numpy generators
+RNG_MODULE = "repro/sim/rng.py"
+
+
+@register
+class SeededRngOnly(Rule):
+    name = "seeded-rng-only"
+    summary = "all randomness must come from sim/rng.RngRegistry streams"
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.module_rel != RNG_MODULE
+
+    def check(self, ctx: FileContext) -> t.Iterator[Finding]:
+        aliases = self._module_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        ctx, node,
+                        "stdlib random is unseeded global state; draw "
+                        "from sim.rng.RngRegistry streams instead")
+                elif node.module in ("numpy.random", "np.random"):
+                    yield self.finding(
+                        ctx, node,
+                        "construct numpy generators only in sim/rng.py; "
+                        "draw from RngRegistry streams instead")
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                parts = name.split(".")
+                root = aliases.get(parts[0])
+                if root == "random" and len(parts) > 1:
+                    yield self.finding(
+                        ctx, node,
+                        f"{name}() bypasses the seeded RngRegistry; use "
+                        f"sim.rng.stream(<component>) draws")
+                elif (root == "numpy" and len(parts) > 2
+                        and parts[1] == "random"):
+                    yield self.finding(
+                        ctx, node,
+                        f"{name}() bypasses the seeded RngRegistry; "
+                        f"numpy generators are built only in sim/rng.py")
+
+    @staticmethod
+    def _module_aliases(tree: ast.Module) -> dict[str, str]:
+        """Local names bound to the ``random`` / ``numpy`` modules."""
+        aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    top = item.name.split(".")[0]
+                    if top in ("random", "numpy"):
+                        aliases[item.asname or top] = top
+        return aliases

@@ -1,0 +1,168 @@
+"""File discovery, single-parse orchestration, output and exit codes."""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import pathlib
+import sys
+import typing as t
+
+from . import baseline as baseline_mod
+from .findings import Finding
+from .registry import all_rules, get_rule
+from .rule import FileContext, Rule
+from .suppress import Suppressions
+
+#: exit codes
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def iter_python_files(paths: t.Iterable[str | pathlib.Path]
+                      ) -> t.Iterator[pathlib.Path]:
+    """Expand files/directories into a sorted stream of ``*.py`` files."""
+    seen: set[pathlib.Path] = set()
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            candidates: t.Iterable[pathlib.Path] = sorted(
+                p for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts)
+        elif path.suffix == ".py":
+            candidates = [path]
+        elif not path.exists():
+            raise FileNotFoundError(str(path))
+        else:
+            candidates = []
+        for cand in candidates:
+            resolved = cand.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield cand
+
+
+def module_rel(path: pathlib.Path) -> str:
+    """Path from the last ``repro`` component down, posix-separated.
+
+    Rules scope themselves with this (e.g. ``repro/driver/...``), which
+    works identically for the real tree under ``src/`` and for test
+    fixture trees materialised under a tmp directory.
+    """
+    parts = path.as_posix().split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return parts[-1]
+
+
+def make_context(path: pathlib.Path, source: str) -> FileContext:
+    tree = ast.parse(source, filename=str(path))
+    return FileContext(path=path.as_posix(), module_rel=module_rel(path),
+                       tree=tree, source=source,
+                       lines=source.splitlines())
+
+
+def check_file(path: pathlib.Path, rules: t.Sequence[Rule]
+               ) -> list[Finding]:
+    """Parse ``path`` once and run every applicable rule over the AST."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        ctx = make_context(path, source)
+    except SyntaxError as exc:
+        line = exc.lineno or 1
+        return [Finding(rule="parse-error", path=path.as_posix(),
+                        line=line, col=(exc.offset or 1) - 1,
+                        message=f"cannot parse: {exc.msg}")]
+    suppressions = Suppressions(ctx.lines)
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if not suppressions.matches(finding.rule, finding.line):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def run(paths: t.Sequence[str | pathlib.Path],
+        select: t.Sequence[str] | None = None,
+        baseline: str | pathlib.Path | None = None,
+        ) -> tuple[list[Finding], int]:
+    """Check ``paths``; returns ``(findings, files_checked)``.
+
+    ``select`` limits the run to the named rules; ``baseline`` filters
+    out findings whose fingerprint the baseline file accepts.
+    """
+    rules = ([get_rule(name) for name in select] if select
+             else all_rules())
+    accepted = baseline_mod.load(baseline) if baseline else set()
+    findings: list[Finding] = []
+    nfiles = 0
+    for path in iter_python_files(paths):
+        nfiles += 1
+        for finding in check_file(path, rules):
+            if finding.fingerprint() not in accepted:
+                findings.append(finding)
+    return findings, nfiles
+
+
+def _list_rules() -> str:
+    rows = [f"  {rule.name:<28} {rule.summary}" for rule in all_rules()]
+    return "\n".join(["available rules:"] + rows)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.staticcheck",
+        description="AST-based invariant checker (determinism, "
+                    "posted-write discipline, unit safety)")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to check "
+                             "(default: src)")
+    parser.add_argument("--select", metavar="RULE[,RULE...]",
+                        help="run only the named rules")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="fmt")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="accept findings recorded in this baseline")
+    parser.add_argument("--update-baseline", metavar="FILE",
+                        help="write current findings to FILE and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    return parser
+
+
+def main(argv: t.Sequence[str] | None = None,
+         out: t.TextIO | None = None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules(), file=out)
+        return EXIT_CLEAN
+    select = (args.select.split(",") if args.select else None)
+    try:
+        findings, nfiles = run(args.paths, select=select,
+                               baseline=args.baseline)
+    except (FileNotFoundError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=out)
+        return EXIT_ERROR
+    if args.update_baseline:
+        count = baseline_mod.write(args.update_baseline, findings)
+        print(f"wrote {count} fingerprint(s) to {args.update_baseline}",
+              file=out)
+        return EXIT_CLEAN
+    if args.fmt == "json":
+        print(json.dumps({"files_checked": nfiles,
+                          "findings": [f.to_json() for f in findings]},
+                         indent=2), file=out)
+    else:
+        for finding in findings:
+            print(finding.format(), file=out)
+        status = ("clean" if not findings
+                  else f"{len(findings)} finding(s)")
+        print(f"staticcheck: {nfiles} file(s), {status}", file=out)
+    return EXIT_FINDINGS if findings else EXIT_CLEAN

@@ -91,17 +91,16 @@ def parse_size(text: str) -> int:
     """Parse a size string like ``"4k"``, ``"128K"``, ``"1M"``, ``"512"``.
 
     Accepts fio-style suffixes (k/m/g, case-insensitive, optional ``iB``/
-    ``B`` trailer); bare numbers are bytes.
+    ``B`` trailer); bare numbers are bytes.  Round-trips everything
+    :func:`fmt_size` produces, including plain-byte renderings like
+    ``"512B"``.
     """
     s = text.strip().lower()
-    for suffix in ("ib", "b"):
-        if s.endswith(suffix) and not s[: -len(suffix)][-1:].isdigit() is False:
-            # only strip when what remains still ends with a unit letter or digit
-            pass
     # normalise trailing "ib"/"b"
     if s.endswith("ib"):
         s = s[:-2]
-    elif s.endswith("b") and len(s) > 1 and s[-2] in "kmg":
+    elif s.endswith("b") and len(s) > 1 and (s[-2] in "kmg"
+                                             or s[-2].isdigit()):
         s = s[:-1]
     mult = 1
     if s and s[-1] in "kmg":

@@ -1,0 +1,97 @@
+"""Round-trip and edge-case properties of :mod:`repro.units`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.units import (GiB, KiB, MiB, MS, NS, SEC, US, fmt_ns, fmt_size,
+                         gb_per_s, gbit_per_s, ns_to_us, parse_size,
+                         serialize_ns, us)
+
+# --- time ----------------------------------------------------------------
+
+
+def test_time_constants_are_integer_ns():
+    assert (NS, US, MS, SEC) == (1, 1_000, 1_000_000, 1_000_000_000)
+    assert all(isinstance(c, int) for c in (NS, US, MS, SEC))
+
+
+@pytest.mark.parametrize("ns", [0, 1, 499, 500, 1_000, 14_500,
+                                1_000_000_000, 3 * SEC + 7])
+def test_us_ns_round_trip_from_ns(ns):
+    assert us(ns_to_us(ns)) == ns
+
+
+@pytest.mark.parametrize("micros", [0.0, 0.5, 1.0, 14.5, 1e6])
+def test_ns_us_round_trip_from_us(micros):
+    assert ns_to_us(us(micros)) == pytest.approx(micros, abs=5e-4)
+
+
+def test_us_always_returns_int():
+    assert isinstance(us(1.4999), int)
+    assert us(1.4999) == 1_500
+
+
+def test_bandwidth_helpers():
+    assert gb_per_s(2.4) == 2.4            # GB/s == bytes/ns (identity)
+    assert gbit_per_s(100) == 12.5         # 100 Gb/s == 12.5 bytes/ns
+
+
+def test_serialize_ns_edges():
+    assert serialize_ns(0, 1.0) == 0
+    assert serialize_ns(-5, 1.0) == 0
+    assert serialize_ns(1, 100.0) == 1     # floor of 1 ns for any payload
+    assert serialize_ns(4096, 1.0) == 4096
+    assert serialize_ns(4096, 2.4) == math.ceil(4096 / 2.4)
+    with pytest.raises(ValueError):
+        serialize_ns(1, 0.0)
+
+
+def test_fmt_ns_scales():
+    assert fmt_ns(999) == "999ns"
+    assert fmt_ns(14_500) == "14.50us"
+    assert fmt_ns(2_500_000) == "2.500ms"
+    assert fmt_ns(3 * SEC) == "3.000s"
+
+
+# --- sizes ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [
+    0, 1, 2, 512, 1000, 1023,                       # bare bytes
+    KiB, 4 * KiB, 1536,                             # KiB with exact .00/.50
+    MiB, 256 * MiB,                                 # MiB
+    GiB, 3 * GiB, 64 * GiB, 2 * 1024 * GiB,         # multi-GiB / TiB range
+])
+def test_parse_size_fmt_size_round_trip(n):
+    assert parse_size(fmt_size(n)) == n
+
+
+@pytest.mark.parametrize("text,expected", [
+    ("0", 0), ("0B", 0), ("1B", 1), ("512", 512), ("512B", 512),
+    ("4k", 4 * KiB), ("4K", 4 * KiB), ("4kb", 4 * KiB),
+    ("4KiB", 4 * KiB), ("128K", 128 * KiB),
+    ("1M", MiB), ("1m", MiB), ("1MiB", MiB),
+    ("1g", GiB), ("2GiB", 2 * GiB),
+    ("1.5k", 1536), ("0.5M", 512 * KiB),
+    (" 4k ", 4 * KiB),                      # surrounding whitespace
+])
+def test_parse_size_accepts_fio_spellings(text, expected):
+    assert parse_size(text) == expected
+
+
+@pytest.mark.parametrize("text", ["", "k", "B", "iB", "4x", "abc", "-1",
+                                  "--4k"])
+def test_parse_size_rejects_garbage(text):
+    with pytest.raises(ValueError):
+        parse_size(text)
+
+
+def test_fmt_size_edges():
+    assert fmt_size(0) == "0B"
+    assert fmt_size(1) == "1B"
+    assert fmt_size(KiB) == "1.00KiB"
+    assert fmt_size(GiB) == "1.00GiB"
+    assert fmt_size(1023) == "1023B"
