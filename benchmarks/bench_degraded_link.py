@@ -1,0 +1,90 @@
+"""Degraded-link ablation: what a lossy or slow NTB cable costs.
+
+The paper's testbed assumes healthy links; the fault-injection
+subsystem lets us ask what happens short of failure.  Two sweeps over
+the client's ``link:`` fault point:
+
+* extra per-TLP forwarding delay (an overlong/retraining cable) — every
+  submission leg (SQE store, doorbell) and the completion write pay it,
+  so QD1 read latency should grow by a small multiple of the delay;
+* TLP drop probability (a flaky connector) — dropped SQE/doorbell/CQE
+  writes surface as client command timeouts, and the retry machinery
+  must recover every I/O at a bounded throughput cost.
+"""
+
+from __future__ import annotations
+
+from conftest import run_experiment
+
+from repro.analysis import format_table
+from repro.scenarios import CHAOS_RELIABILITY, chaos_cluster
+from repro.units import ns_to_us
+from repro.workloads import FioJob, fio_generator
+
+EXTRA_DELAYS_NS = (0, 500, 1_000, 2_000, 4_000)
+DROP_PROBABILITIES = (0.0, 0.01, 0.05)
+IOS = 800
+HORIZON_NS = 2_000_000_000
+
+
+def _degraded_run(seed, *, delay_ns=0, drop=0.0, iodepth=1):
+    sc = chaos_cluster(n_clients=1, seed=seed,
+                       reliability=CHAOS_RELIABILITY)
+    point = sc.link_points()[1]          # the client host's adapter
+    sc.registry.set_delay(point, delay_ns)
+    sc.registry.set_drop(point, drop)
+    job = FioJob(rw="randread", bs=4096, iodepth=iodepth,
+                 total_ios=IOS, ramp_ios=50)
+    proc = sc.sim.process(fio_generator(sc.clients[0], job))
+    sc.sim.run(until=sc.sim.timeout(HORIZON_NS))
+    assert proc.triggered, "degraded-link workload wedged"
+    return sc, proc.value
+
+
+def test_degraded_link(benchmark, results_writer):
+    def experiment():
+        delay_rows = {}
+        for delay in EXTRA_DELAYS_NS:
+            _sc, res = _degraded_run(700, delay_ns=delay)
+            delay_rows[delay] = res.summary("read")
+        drop_rows = {}
+        for drop in DROP_PROBABILITIES:
+            sc, res = _degraded_run(701, drop=drop, iodepth=4)
+            kiops = res.ios / (res.elapsed_ns / 1e9) / 1e3
+            drop_rows[drop] = (kiops, res.errors,
+                               sc.clients[0].timeouts,
+                               sc.clients[0].retries)
+        return delay_rows, drop_rows
+
+    delay_rows, drop_rows = run_experiment(benchmark, experiment)
+
+    rows = [[d, f"{ns_to_us(delay_rows[d].minimum):.2f}",
+             f"{delay_rows[d].median / 1000:.2f}"]
+            for d in EXTRA_DELAYS_NS]
+    art = format_table(
+        ["extra delay (ns/TLP)", "min (us)", "median (us)"], rows,
+        title="Degraded link: per-TLP delay (4 KiB randread QD=1)")
+
+    rows = [[f"{p:.0%}", f"{drop_rows[p][0]:.1f}", drop_rows[p][2],
+             drop_rows[p][3], drop_rows[p][1]]
+            for p in DROP_PROBABILITIES]
+    art += "\n\n" + format_table(
+        ["drop prob", "kIOPS", "timeouts", "retries", "lost I/Os"],
+        rows,
+        title="Degraded link: TLP loss (4 KiB randread QD=4, "
+              "2 ms command timeout)")
+    results_writer("degraded_link", art)
+
+    meds = [float(delay_rows[d].median) for d in EXTRA_DELAYS_NS]
+    assert all(a < b for a, b in zip(meds, meds[1:]))
+    # Each QD1 read crosses the NTB ~twice (doorbell out, completion
+    # back), so the median must grow about that fast (median rounding
+    # can shave a few ns off the exact 2x).
+    assert meds[-1] - meds[0] >= 1.9 * EXTRA_DELAYS_NS[-1]
+
+    # Retries recover every dropped I/O: loss costs throughput, never
+    # completions.
+    for p in DROP_PROBABILITIES:
+        assert drop_rows[p][1] == 0
+    assert drop_rows[0.05][2] > 0                       # timeouts hit
+    assert drop_rows[0.05][0] < drop_rows[0.0][0]       # and cost IOPS

@@ -73,6 +73,12 @@ class PcieConfig:
     #: Max read request size (a single MemRd can ask for this much).
     max_read_request_size: int = 512
 
+    #: Non-posted completion timeout: how long an initiator waits for a
+    #: read completion before reporting a failed transaction (PCIe spec
+    #: range is 50 us - 50 ms; kept short so degraded-link simulations
+    #: stay fast).  Only reachable when fault injection severs a path.
+    completion_timeout_ns: int = 50_000
+
 
 # ---------------------------------------------------------------------------
 # NVMe device / media
@@ -245,6 +251,44 @@ class NvmeofConfig:
 
 
 # ---------------------------------------------------------------------------
+# Reliability / fault recovery
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class ReliabilityConfig:
+    """Driver-side fault-recovery knobs (see docs/fault_injection.md).
+
+    All recovery machinery defaults to *off* (the zero values below) so
+    the calibrated fault-free benchmarks are bit-identical with or
+    without this subsystem; chaos scenarios enable it explicitly.
+    """
+
+    #: Client: time to wait for a command completion before aborting and
+    #: retrying it.  0 disables command timeouts (wait forever, the
+    #: paper's fault-free behaviour).  When enabling, keep this well
+    #: above the p99 completion latency of the workload or healthy
+    #: commands get duplicated by spurious retries.
+    command_timeout_ns: int = 0
+    #: Client: bounded retries after a command timeout before the
+    #: request fails with ``STATUS_HOST_TIMEOUT``.
+    max_retries: int = 3
+    #: Client: additional backoff added to the timeout per retry
+    #: (attempt ``n`` waits ``command_timeout_ns + n * retry_backoff_ns``).
+    retry_backoff_ns: int = 100_000
+    #: Client: interval between liveness heartbeat writes into the
+    #: manager's metadata segment.  0 disables heartbeats (no lease is
+    #: established, so the manager never reclaims this client).
+    heartbeat_interval_ns: int = 0
+    #: Manager: a client whose newest heartbeat is older than this is
+    #: declared dead and its queue pairs are reclaimed.  0 disables the
+    #: lease watchdog entirely.  Keep several heartbeat intervals wide
+    #: or transient link loss triggers false reclaims.
+    lease_timeout_ns: int = 0
+    #: Manager: how often the lease watchdog scans the heartbeat table.
+    lease_check_interval_ns: int = 250_000
+
+
+# ---------------------------------------------------------------------------
 # Cluster / NTB scenario parameters
 # ---------------------------------------------------------------------------
 
@@ -281,6 +325,8 @@ class SimulationConfig:
     rdma: RdmaConfig = dataclasses.field(default_factory=RdmaConfig)
     nvmeof: NvmeofConfig = dataclasses.field(default_factory=NvmeofConfig)
     cluster: ClusterConfig = dataclasses.field(default_factory=ClusterConfig)
+    reliability: ReliabilityConfig = dataclasses.field(
+        default_factory=ReliabilityConfig)
     seed: int = 42
 
 

@@ -4,7 +4,9 @@ block-device abstraction."""
 
 from .adminq import AdminError, AdminQueues
 from .blockdev import BlockDevice, BlockError, BlockRequest
-from .client import ClientError, DistributedNvmeClient
+from .client import (STATUS_HOST_CRASHED, STATUS_HOST_SHUTDOWN,
+                     STATUS_HOST_TIMEOUT, ClientError,
+                     DistributedNvmeClient)
 from .dmapool import DmaPool, local_pool
 from .manager import ManagerError, NvmeManager
 from .spdk_local import SpdkLocalDriver
@@ -17,5 +19,6 @@ __all__ = [
     "DmaPool", "local_pool",
     "NvmeManager", "ManagerError",
     "DistributedNvmeClient", "ClientError",
+    "STATUS_HOST_TIMEOUT", "STATUS_HOST_SHUTDOWN", "STATUS_HOST_CRASHED",
     "StockNvmeDriver", "SpdkLocalDriver", "StripedBlockDevice",
 ]

@@ -31,7 +31,8 @@ from ..config import SimulationConfig
 from ..nvme import (CompletionEntry, CompletionQueueState, IoOpcode,
                     SubmissionEntry, SubmissionQueueState,
                     cq_doorbell_offset, sq_doorbell_offset)
-from ..sim import Event, Simulator, Store
+from ..pcie.fabric import FabricFaultError
+from ..sim import NULL_TRACER, Event, Interrupt, Process, Simulator, Store
 from ..sisci import RemoteSegment, SisciNode
 from ..smartio import Placement, SmartIoService
 from ..units import serialize_ns
@@ -42,6 +43,14 @@ from .prputil import prps_for_contiguous
 
 class ClientError(Exception):
     pass
+
+
+# Vendor-specific completion statuses (SCT 7) synthesised by the *host*
+# side when the device never answered; they never collide with statuses
+# a controller can return.
+STATUS_HOST_TIMEOUT = 0x7_01    # command timed out after all retries
+STATUS_HOST_SHUTDOWN = 0x7_02   # client shut down with the I/O in flight
+STATUS_HOST_CRASHED = 0x7_03    # client was killed with the I/O in flight
 
 
 class DistributedNvmeClient(BlockDevice):
@@ -56,7 +65,7 @@ class DistributedNvmeClient(BlockDevice):
                  data_path: str = "bounce",
                  completion_mode: str = "poll",
                  slot_index: int | None = None,
-                 name: str | None = None) -> None:
+                 name: str | None = None, tracer=NULL_TRACER) -> None:
         if sq_placement not in ("device", "client"):
             raise ClientError(f"bad sq_placement: {sq_placement}")
         if cq_placement not in ("device", "client"):
@@ -84,13 +93,21 @@ class DistributedNvmeClient(BlockDevice):
         super().__init__(sim, name or f"{node.host.name}-nvme",
                          lba_bytes=512, capacity_lbas=0,
                          queue_depth=queue_depth)
+        self.tracer = tracer
         self._cid = 0
         self._inflight: dict[int, Event] = {}
         self._running = False
+        self.crashed = False
         self.qid: int | None = None
         self._ref = None
         self._meta_conn: RemoteSegment | None = None
         self._poll_stream = f"poll:{self.name}"
+        self._poll_proc: Process | None = None
+        self._hb_proc: Process | None = None
+        #: recovery accounting
+        self.timeouts = 0
+        self.retries = 0
+        self.stale_completions = 0
 
     # ------------------------------------------------------------- bootstrap
 
@@ -167,9 +184,11 @@ class DistributedNvmeClient(BlockDevice):
 
         self._running = True
         if self.completion_mode == "interrupt":
-            self.sim.process(self._interrupt_handler())
+            self._poll_proc = self.sim.process(self._interrupt_handler())
         else:
-            self.sim.process(self._poller())
+            self._poll_proc = self.sim.process(self._poller())
+        if self.config.reliability.heartbeat_interval_ns > 0:
+            self._hb_proc = self.sim.process(self._heartbeat())
 
     def _setup_remote_interrupts(self) -> t.Generator:
         """The remote-interrupt extension (paper future work).
@@ -198,14 +217,66 @@ class DistributedNvmeClient(BlockDevice):
         yield self.sim.timeout(2_000)
 
     def shutdown(self) -> t.Generator:
-        """Return the queue pair to the manager and unmap everything."""
+        """Return the queue pair to the manager and unmap everything.
+
+        Orderly teardown: stop the completion poller and the heartbeat,
+        fail whatever is still in flight with ``STATUS_HOST_SHUTDOWN``
+        (the waiters observe a distinct host-side status, never a
+        hang), then release the queue pair.
+        """
         self._running = False
+        self._stop_workers()
+        self._fail_inflight(STATUS_HOST_SHUTDOWN)
         if self.qid is not None:
             yield from self._rpc(meta.OP_DELETE_QP, qid=self.qid)
             self.qid = None
         if self._ref is not None:
             self._ref.release()
             self._ref = None
+
+    def crash(self) -> None:
+        """Surprise removal (paper Sec. IV): the host dies without any
+        cleanup RPC.  Local waiters are released with
+        ``STATUS_HOST_CRASHED``; the manager only finds out when the
+        heartbeat stops and the liveness lease expires."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self._running = False
+        self._stop_workers()
+        self._fail_inflight(STATUS_HOST_CRASHED)
+        self.tracer.emit("fault", "client-crashed", client=self.name)
+
+    def _stop_workers(self) -> None:
+        for proc in (self._poll_proc, self._hb_proc):
+            if proc is not None and proc.is_alive:
+                proc.interrupt()
+        self._poll_proc = None
+        self._hb_proc = None
+
+    def _fail_inflight(self, status: int) -> None:
+        """Complete every in-flight command with a synthetic host-side
+        CQE; sorted by cid for deterministic wake order."""
+        inflight, self._inflight = self._inflight, {}
+        for cid in sorted(inflight):
+            inflight[cid].succeed(CompletionEntry(cid=cid, status=status))
+
+    def _heartbeat(self) -> t.Generator:
+        """Post the liveness counter into the metadata segment."""
+        assert self._meta_conn is not None
+        interval = self.config.reliability.heartbeat_interval_ns
+        offset = meta.heartbeat_offset(self.slot_index)
+        try:
+            while self._running:
+                # +1 so the very first beat (at t=0) is nonzero: the
+                # manager treats 0 as "no lease established yet".
+                self._meta_conn.write(
+                    offset,
+                    (self.sim.now + 1).to_bytes(meta.HEARTBEAT_SIZE,
+                                                "little"))
+                yield self.sim.timeout(interval)
+        except Interrupt:
+            return
 
     # ---------------------------------------------------------------- RPC
 
@@ -215,15 +286,31 @@ class DistributedNvmeClient(BlockDevice):
         assert self._meta_conn is not None
         cfg = self.config.host
         offset = meta.slot_offset(self.slot_index)
-        yield from self._meta_conn.write_wait(
-            offset, meta.pack_slot(meta.SLOT_REQUEST, op=op, qid=qid,
-                                   entries=entries, sq_addr=sq_addr,
-                                   cq_addr=cq_addr, flags=flags))
+        payload = meta.pack_slot(meta.SLOT_REQUEST, op=op, qid=qid,
+                                 entries=entries, sq_addr=sq_addr,
+                                 cq_addr=cq_addr, flags=flags)
         while True:
-            yield self.sim.timeout(cfg.rpc_poll_ns)
-            raw = yield from self._meta_conn.read(offset, meta.SLOT_SIZE)
-            resp = meta.unpack_slot(raw)
-            if resp["status"] == meta.SLOT_RESPONSE:
+            yield from self._meta_conn.write_wait(offset, payload)
+            resend = False
+            while True:
+                yield self.sim.timeout(cfg.rpc_poll_ns)
+                try:
+                    raw = yield from self._meta_conn.read(offset,
+                                                          meta.SLOT_SIZE)
+                except FabricFaultError:
+                    # Path to the manager severed mid-RPC; keep polling
+                    # until the link heals (setup path, latency is fine).
+                    continue
+                resp = meta.unpack_slot(raw)
+                if resp["status"] == meta.SLOT_RESPONSE:
+                    break
+                if resp["status"] == meta.SLOT_FREE:
+                    # Our request TLP was dropped before it landed (a
+                    # delivered request reads back REQUEST or RESPONSE),
+                    # so re-sending cannot double-apply it.
+                    resend = True
+                    break
+            if not resend:
                 break
         yield from self._meta_conn.write_wait(
             offset, meta.pack_slot(meta.SLOT_FREE))
@@ -232,6 +319,12 @@ class DistributedNvmeClient(BlockDevice):
     # ------------------------------------------------------------ data path
 
     def _driver_submit(self, request: BlockRequest) -> t.Generator:
+        if self.crashed:
+            # The host is dead: requests still flow through the block
+            # layer (so workloads drain instead of hanging) but every
+            # one fails fast with the host-side status.
+            request.status = STATUS_HOST_CRASHED
+            return
         if not self._running:
             raise ClientError("client not started")
         cfg = self.config.host
@@ -277,23 +370,66 @@ class DistributedNvmeClient(BlockDevice):
                                                              blob))
             sqe.slba = request.lba
             sqe.nlb = request.nblocks - 1
-        self._cid = (self._cid + 1) % 0x10000
-        sqe.cid = self._cid
-        done = Event(self.sim)
-        self._inflight[sqe.cid] = done
+        rel = self.config.reliability
+        attempt = 0
+        while True:
+            if not self._running:
+                # Killed or shut down between attempts.
+                cqe = CompletionEntry(status=STATUS_HOST_CRASHED
+                                      if self.crashed
+                                      else STATUS_HOST_SHUTDOWN)
+                break
+            if rel.command_timeout_ns > 0 and self.sq.is_full():
+                # The SQ window is clogged with commands whose
+                # completions were lost; recover what landed beyond CQ
+                # holes and back off instead of overflowing the ring.
+                self._resync_cq()
+                if self.sq.is_full():
+                    if attempt >= rel.max_retries:
+                        cqe = CompletionEntry(status=STATUS_HOST_TIMEOUT)
+                        break
+                    attempt += 1
+                    yield self.sim.timeout(rel.retry_backoff_ns * attempt)
+                    continue
+            self._cid = (self._cid + 1) % 0x10000
+            sqe.cid = self._cid
+            done = Event(self.sim)
+            self._inflight[sqe.cid] = done
+            self._issue(sqe)
 
-        # Write the SQE into queue memory.  Device-side SQ: posted store
-        # through the NTB window; client-side SQ: plain local store.
-        slot = self.sq.advance_tail()
-        self._sq_conn.write(slot * 64, sqe.pack())
-        # Ring the doorbell through the mapped BAR (posted; ordered
-        # behind the SQE store by PCIe posted-write ordering).
-        self.node.fabric.post_write(
-            self.node.host.rc, self.node.host,
-            self._bar + sq_doorbell_offset(self.qid),
-            self.sq.tail.to_bytes(4, "little"))
-
-        cqe: CompletionEntry = yield done
+            if rel.command_timeout_ns <= 0:
+                # Recovery disabled (the default): wait unconditionally.
+                cqe = yield done
+                break
+            expiry = self.sim.timeout(rel.command_timeout_ns)
+            outcome = yield self.sim.any_of((done, expiry))
+            if done in outcome:
+                cqe = outcome[done]
+                break
+            # Timed out.  A dropped CQE write leaves a phase hole in the
+            # CQ ring that wedges the poller; scan past holes first —
+            # the resync may deliver our own completion.
+            if self._resync_cq() and done.triggered:
+                cqe = done.value
+                break
+            # Retire the cid *first*: a late CQE for it is then counted
+            # as stale in _dispatch instead of completing anything, so
+            # each request completes exactly once.
+            self._inflight.pop(sqe.cid, None)
+            self.timeouts += 1
+            self.tracer.emit("recovery", "timeout", client=self.name,
+                             cid=sqe.cid, attempt=attempt)
+            if attempt >= rel.max_retries:
+                cqe = CompletionEntry(cid=sqe.cid,
+                                      status=STATUS_HOST_TIMEOUT)
+                break
+            attempt += 1
+            self.retries += 1
+            self.tracer.emit("recovery", "retry", client=self.name,
+                             cid=sqe.cid, attempt=attempt)
+            # Linear backoff; the retry is a fresh command with a fresh
+            # cid (reads/writes are idempotent at the block layer).
+            yield self.sim.timeout(rel.retry_backoff_ns * attempt)
         # Naive completion software path + copy out of the bounce buffer.
         yield self.sim.timeout(cfg.dist_complete_ns)
         request.status = cqe.status
@@ -304,6 +440,19 @@ class DistributedNvmeClient(BlockDevice):
         if self.data_path == "iommu":
             yield self.sim.timeout(cfg.iommu_unmap_ns)
         self._parts.put(part)
+
+    def _issue(self, sqe: SubmissionEntry) -> None:
+        """One submission: SQE store, then the doorbell behind it."""
+        # Write the SQE into queue memory.  Device-side SQ: posted store
+        # through the NTB window; client-side SQ: plain local store.
+        slot = self.sq.advance_tail()
+        self._sq_conn.write(slot * 64, sqe.pack())
+        # Ring the doorbell through the mapped BAR (posted; ordered
+        # behind the SQE store by PCIe posted-write ordering).
+        self.node.fabric.post_write(
+            self.node.host.rc, self.node.host,
+            self._bar + sq_doorbell_offset(self.qid),
+            self.sq.tail.to_bytes(4, "little"))
 
     def _memcpy_ns(self, nbytes: int) -> int:
         cfg = self.config.host
@@ -345,6 +494,8 @@ class DistributedNvmeClient(BlockDevice):
                                                 cfg.poll_interval_ns)
                 if delay:
                     yield self.sim.timeout(delay)
+        except Interrupt:
+            return  # shutdown/crash stopped the poller
         finally:
             mem.unwatch(wp)
 
@@ -370,6 +521,8 @@ class DistributedNvmeClient(BlockDevice):
                     drained += 1
                 if drained:
                     self._ring_cq_doorbell()
+        except Interrupt:
+            return  # shutdown/crash stopped the handler
         finally:
             mem.unwatch(wp)
 
@@ -377,25 +530,84 @@ class DistributedNvmeClient(BlockDevice):
         """Ablation path: CQ in device-side memory — every poll is a
         non-posted read across the NTB."""
         cfg = self.config.host
-        while self._running:
-            # This read across the NTB is the point of the ablation.
-            # staticcheck: ignore[no-nonposted-hotpath] deliberate Fig. 8 counter-example
-            raw = yield from self._cq_conn.read(self.cq.head * 16, 16)
-            cqe = CompletionEntry.unpack(raw)
-            if cqe.phase == self.cq.consumer_phase():
-                self.cq.consume()
-                self._dispatch(cqe)
-                self._ring_cq_doorbell()
-            elif self._inflight:
-                yield self.sim.timeout(cfg.poll_interval_ns)
-            else:
-                yield self.sim.timeout(cfg.poll_interval_ns * 10)
+        try:
+            while self._running:
+                # This read across the NTB is the point of the ablation.
+                try:
+                    # staticcheck: ignore[no-nonposted-hotpath] deliberate Fig. 8 counter-example
+                    raw = yield from self._cq_conn.read(self.cq.head * 16,
+                                                        16)
+                except FabricFaultError:
+                    # Severed path: back off, poll again when it heals.
+                    yield self.sim.timeout(cfg.poll_interval_ns * 10)
+                    continue
+                cqe = CompletionEntry.unpack(raw)
+                if cqe.phase == self.cq.consumer_phase():
+                    self.cq.consume()
+                    self._dispatch(cqe)
+                    self._ring_cq_doorbell()
+                elif self._inflight:
+                    yield self.sim.timeout(cfg.poll_interval_ns)
+                else:
+                    yield self.sim.timeout(cfg.poll_interval_ns * 10)
+        except Interrupt:
+            return  # shutdown/crash stopped the poller
 
     def _dispatch(self, cqe: CompletionEntry) -> None:
         self.sq.head = cqe.sq_head
         done = self._inflight.pop(cqe.cid, None)
         if done is not None:
             done.succeed(cqe)
+        else:
+            # Completion for a cid already retired by the timeout path:
+            # drop it (the submitter moved on to a fresh cid).
+            self.stale_completions += 1
+            self.tracer.emit("recovery", "stale-completion",
+                             client=self.name, cid=cqe.cid)
+
+    def _resync_cq(self) -> int:
+        """Skip CQ slots whose CQE writes were lost on the fabric.
+
+        The controller's producer advances (and flips phase at the
+        wrap) even when the posted CQE write is dropped, so an outage
+        leaves *holes*: the consumer waits forever at a slot whose
+        entry never arrived while valid entries sit further ahead.
+        Scan one lap forward for entries carrying the phase tag the
+        producer would have stamped there this lap — those are
+        delivered completions beyond holes.  Dispatch them in order,
+        advance the consumer past the gap, and ring the CQ doorbell.
+        Stale ring content still carries the *previous* lap's tag, so
+        the scan cannot mistake it for a fresh entry.  The holes' own
+        cids are recovered by their per-command timeouts.
+
+        Only meaningful for a client-local CQ (the default placement);
+        returns the number of recovered completions.
+        """
+        if not self._cq_local:
+            return 0
+        mem = self.node.host.memory
+        base = self._cq_seg.phys_addr
+        entries = self.queue_entries
+        head, phase = self.cq.head, self.cq.consumer_phase()
+        found: list[tuple[int, CompletionEntry]] = []
+        for i in range(entries):
+            slot = (head + i) % entries
+            expect = phase if head + i < entries else phase ^ 1
+            cqe = CompletionEntry.unpack(mem.read(base + slot * 16, 16))
+            if cqe.phase == expect:
+                found.append((i, cqe))
+        if not found:
+            return 0
+        hits = dict(found)
+        for i in range(found[-1][0] + 1):      # consume() flips phase
+            self.cq.consume()                  # at the wrap for us
+            if i in hits:
+                self._dispatch(hits[i])
+        self._ring_cq_doorbell()
+        self.tracer.emit("recovery", "cq-resync", client=self.name,
+                         recovered=len(found),
+                         skipped=found[-1][0] + 1 - len(found))
+        return len(found)
 
     def _ring_cq_doorbell(self) -> None:
         self.node.fabric.post_write(

@@ -23,11 +23,11 @@ from __future__ import annotations
 import typing as t
 
 from ..config import SimulationConfig
-from ..sim import Simulator
+from ..sim import NULL_TRACER, Resource, Simulator
 from ..sisci import LocalSegment, SisciNode
 from ..smartio import SmartIoService
 from . import metadata as meta
-from .adminq import AdminQueues
+from .adminq import AdminError, AdminQueues
 
 
 class ManagerError(Exception):
@@ -41,19 +41,26 @@ class NvmeManager:
 
     def __init__(self, sim: Simulator, smartio: SmartIoService,
                  node: SisciNode, device_id: int,
-                 config: SimulationConfig) -> None:
+                 config: SimulationConfig, tracer=NULL_TRACER) -> None:
         self.sim = sim
         self.smartio = smartio
         self.node = node
         self.device_id = device_id
         self.config = config
+        self.tracer = tracer
         self.admin: AdminQueues | None = None
         self.metadata_segment: LocalSegment | None = None
         self._ref = None
         self._free_qids: list[int] = []
         self._client_qids: dict[int, list[int]] = {}   # slot -> qids
         self._running = False
+        # AdminQueues.submit is one-command-at-a-time; the mailbox
+        # worker and the lease watchdog serialise through this lock.
+        self._admin_lock = Resource(sim, capacity=1)
+        # slot -> (last heartbeat value, sim time it last changed)
+        self._hb_seen: dict[int, tuple[int, int]] = {}
         self.rpcs_served = 0
+        self.leases_reclaimed = 0
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -96,6 +103,8 @@ class NvmeManager:
                                       capacity_lbas=ident.nsze))
         for slot in range(meta.NSLOTS):
             seg.write(meta.slot_offset(slot), meta.pack_slot(meta.SLOT_FREE))
+            seg.write(meta.heartbeat_offset(slot),
+                      bytes(meta.HEARTBEAT_SIZE))
         seg.set_available()
         self.metadata_segment = seg
         self.smartio.set_device_metadata(self.device_id,
@@ -105,6 +114,8 @@ class NvmeManager:
         self._ref.downgrade()
         self._running = True
         self.sim.process(self._mailbox_worker())
+        if self.config.reliability.lease_timeout_ns > 0:
+            self.sim.process(self._lease_worker())
 
     def stop(self) -> None:
         self._running = False
@@ -149,20 +160,44 @@ class NvmeManager:
             else:
                 qid = self._free_qids.pop(0)
                 interrupts = bool(req["flags"] & meta.FLAG_INTERRUPTS)
-                yield from self.admin.create_io_cq(
-                    qid, req["entries"], req["cq_addr"],
-                    interrupts=interrupts, vector=qid)
-                yield from self.admin.create_io_sq(qid, req["entries"],
-                                                   req["sq_addr"],
-                                                   cqid=qid)
-                self._client_qids.setdefault(slot, []).append(qid)
+                lock = self._admin_lock.request()
+                yield lock
+                try:
+                    cq_created = False
+                    try:
+                        yield from self.admin.create_io_cq(
+                            qid, req["entries"], req["cq_addr"],
+                            interrupts=interrupts, vector=qid)
+                        cq_created = True
+                        yield from self.admin.create_io_sq(
+                            qid, req["entries"], req["sq_addr"], cqid=qid)
+                    except AdminError:
+                        # Roll back so nothing leaks: the half-created CQ
+                        # is deleted and the qid returns to the free pool.
+                        if cq_created:
+                            try:
+                                yield from self.admin.delete_io_cq(qid)
+                            except AdminError:
+                                pass   # controller lost it already
+                        self._free_qids.append(qid)
+                        qid = 0
+                        rpc_status = meta.RPC_ADMIN_FAILED
+                    else:
+                        self._client_qids.setdefault(slot, []).append(qid)
+                finally:
+                    self._admin_lock.release(lock)
         elif req["op"] == meta.OP_DELETE_QP:
             owned = self._client_qids.get(slot, [])
             if req["qid"] not in owned:
                 rpc_status = meta.RPC_BAD_REQUEST
             else:
-                yield from self.admin.delete_io_sq(req["qid"])
-                yield from self.admin.delete_io_cq(req["qid"])
+                lock = self._admin_lock.request()
+                yield lock
+                try:
+                    yield from self.admin.delete_io_sq(req["qid"])
+                    yield from self.admin.delete_io_cq(req["qid"])
+                finally:
+                    self._admin_lock.release(lock)
                 owned.remove(req["qid"])
                 self._free_qids.append(req["qid"])
                 qid = req["qid"]
@@ -173,6 +208,65 @@ class NvmeManager:
             meta.slot_offset(slot),
             meta.pack_slot(meta.SLOT_RESPONSE, op=req["op"], qid=qid,
                            rpc_status=rpc_status))
+
+    # -- liveness leases -----------------------------------------------------------
+
+    def _lease_worker(self) -> t.Generator:
+        """Watchdog: reclaim queue pairs of clients whose heartbeat
+        stopped (surprise removal, paper Sec. IV).
+
+        A lease exists only once the first heartbeat lands (value 0 =
+        the client predates the lease protocol or has not started);
+        after that, a counter frozen for ``lease_timeout_ns`` means the
+        owner is dead or unreachable and its resources are reclaimed.
+        """
+        rel = self.config.reliability
+        seg = self.metadata_segment
+        assert seg is not None
+        while self._running:
+            yield self.sim.timeout(rel.lease_check_interval_ns)
+            now = self.sim.now
+            for slot in sorted(self._client_qids):
+                if not self._client_qids.get(slot):
+                    continue
+                hb = int.from_bytes(
+                    seg.read(meta.heartbeat_offset(slot),
+                             meta.HEARTBEAT_SIZE), "little")
+                if hb == 0:
+                    continue
+                last, seen_at = self._hb_seen.get(slot, (0, now))
+                if hb != last:
+                    self._hb_seen[slot] = (hb, now)
+                    continue
+                if now - seen_at >= rel.lease_timeout_ns:
+                    yield from self._reclaim(slot)
+
+    def _reclaim(self, slot: int) -> t.Generator:
+        """Delete a dead client's queue pairs and free its slot."""
+        assert self.admin is not None and self.metadata_segment is not None
+        owned = self._client_qids.pop(slot, [])
+        self._hb_seen.pop(slot, None)
+        lock = self._admin_lock.request()
+        yield lock
+        try:
+            for qid in owned:
+                try:
+                    yield from self.admin.delete_io_sq(qid)
+                    yield from self.admin.delete_io_cq(qid)
+                except AdminError:
+                    pass   # half-torn-down queues; reclaim the id anyway
+                self._free_qids.append(qid)
+        finally:
+            self._admin_lock.release(lock)
+        # Clear the mailbox slot and the heartbeat word so a
+        # reconnecting client starts from a clean slate.
+        self.metadata_segment.write(meta.slot_offset(slot),
+                                    meta.pack_slot(meta.SLOT_FREE))
+        self.metadata_segment.write(meta.heartbeat_offset(slot),
+                                    bytes(meta.HEARTBEAT_SIZE))
+        self.leases_reclaimed += 1
+        self.tracer.emit("recovery", "lease-reclaim", slot=slot,
+                         qids=len(owned))
 
     @property
     def queues_in_use(self) -> int:

@@ -21,7 +21,15 @@ HEADER_SIZE = 64
 SLOT_SIZE = 128
 NSLOTS = 64
 
-SEGMENT_SIZE = HEADER_SIZE + NSLOTS * SLOT_SIZE
+# Per-client liveness lease: each slot owner periodically posts a
+# monotonically increasing counter into its heartbeat word; the manager
+# reclaims the queue pairs of any owner whose counter stops advancing
+# for ReliabilityConfig.lease_timeout_ns.  Heartbeats are plain posted
+# stores — a dead or severed client simply stops writing.
+HEARTBEAT_SIZE = 8
+HEARTBEAT_OFFSET = HEADER_SIZE + NSLOTS * SLOT_SIZE
+
+SEGMENT_SIZE = HEARTBEAT_OFFSET + NSLOTS * HEARTBEAT_SIZE
 
 # Slot status values
 SLOT_FREE = 0
@@ -36,6 +44,7 @@ OP_DELETE_QP = 2
 RPC_OK = 0
 RPC_NO_QUEUES = 1
 RPC_BAD_REQUEST = 2
+RPC_ADMIN_FAILED = 3
 
 _HEADER = struct.Struct("<IIIIIIQ")      # magic, mgr node, device, nsid,
                                          # lba_bytes, nslots, capacity
@@ -69,6 +78,12 @@ def slot_offset(index: int) -> int:
     if not 0 <= index < NSLOTS:
         raise ValueError(f"slot index out of range: {index}")
     return HEADER_SIZE + index * SLOT_SIZE
+
+
+def heartbeat_offset(index: int) -> int:
+    if not 0 <= index < NSLOTS:
+        raise ValueError(f"slot index out of range: {index}")
+    return HEARTBEAT_OFFSET + index * HEARTBEAT_SIZE
 
 
 def pack_slot(status: int, op: int = 0, qid: int = 0, entries: int = 0,

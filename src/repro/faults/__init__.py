@@ -1,0 +1,22 @@
+"""Deterministic fault injection (chaos engineering for the cluster).
+
+The paper's SmartIO layer is designed to survive hosts "crashing or
+being shut down without notifying the device manager"; this package
+makes that story testable.  A seeded :class:`FaultPlan` schedules link
+loss, TLP drop/delay, controller stalls/aborts and client kills against
+named fault points; the :class:`FaultInjector` replays it; the driver's
+recovery half (client command timeouts + manager liveness leases, see
+:mod:`repro.driver`) is configured via
+:class:`repro.config.ReliabilityConfig`.  A ``(seed, plan)`` pair
+replays bit-identically.
+"""
+
+from .injector import FaultInjector
+from .plan import ACTIONS, FaultEvent, FaultPlan
+from .registry import FaultError, FaultPointRegistry, PointState
+
+__all__ = [
+    "ACTIONS", "FaultEvent", "FaultPlan",
+    "FaultError", "FaultPointRegistry", "PointState",
+    "FaultInjector",
+]

@@ -77,6 +77,7 @@ class Status(enum.IntEnum):
     CID_CONFLICT = 0x03
     DATA_TRANSFER_ERROR = 0x04
     INTERNAL_ERROR = 0x06
+    ABORTED_BY_REQUEST = 0x07
     INVALID_QUEUE_ID = 0x01_01      # SCT 1, SC 1 (invalid queue identifier)
     INVALID_QUEUE_SIZE = 0x01_02    # SCT 1, SC 2 (invalid queue size)
     LBA_OUT_OF_RANGE = 0x80

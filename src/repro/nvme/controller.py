@@ -26,6 +26,7 @@ import typing as t
 
 from ..config import NvmeConfig
 from ..pcie.device import Bar, PCIeFunction
+from ..pcie.fabric import FabricFaultError
 from ..sim import NULL_TRACER, Signal, Simulator
 from .constants import (CC_EN, CSTS_RDY, CSTS_SHST_COMPLETE, DOORBELL_BASE,
                         PAGE_SIZE, AdminOpcode, IoOpcode, Status,
@@ -89,9 +90,14 @@ class NvmeController(PCIeFunction):
         self.cqs: dict[int, _ControllerCq] = {}
         self.msix: list[_MsixEntry] = [_MsixEntry()
                                        for _ in range(MSIX_VECTORS)]
+        #: optional FaultPointRegistry; the controller's point is
+        #: ``ctrl:<name>`` (stall / per-command abort injection).
+        self.faults = None
+        self.fault_point = f"ctrl:{name}"
         #: accounting
         self.commands_completed = 0
         self.fetches = 0
+        self.fetch_retries = 0
         self.bad_doorbells = 0
 
     # ------------------------------------------------------------------ MMIO
@@ -235,6 +241,10 @@ class NvmeController(PCIeFunction):
         cfg = self.config
         assert sq.signal is not None
         while sq.active:
+            if self.faults is not None:
+                yield from self.faults.stall_barrier(self.fault_point)
+                if not sq.active:
+                    return
             if sq.state.head == sq.db_tail:
                 yield sq.signal.wait()
                 if not sq.active:
@@ -243,8 +253,16 @@ class NvmeController(PCIeFunction):
                 yield self.sim.timeout(cfg.doorbell_to_fetch_ns)
                 continue
             slot = sq.state.head
-            raw = yield from self.dma_read(sq.state.slot_addr(slot),
-                                           SQE_SIZE)
+            try:
+                raw = yield from self.dma_read(sq.state.slot_addr(slot),
+                                               SQE_SIZE)
+            except FabricFaultError:
+                # Fetch lost in the fabric: head is not advanced, so the
+                # controller re-fetches the same slot after a pause —
+                # hardware keeps retrying until reset.
+                self.fetch_retries += 1
+                yield self.sim.timeout(cfg.doorbell_to_fetch_ns)
+                continue
             sq.state.head = (sq.state.head + 1) % sq.state.entries
             self.fetches += 1
             sqe = SubmissionEntry.unpack(raw)
@@ -390,6 +408,10 @@ class NvmeController(PCIeFunction):
     # ------------------------------------------------------------------- I/O
 
     def _execute_io(self, sq: _ControllerSq, sqe: SubmissionEntry):
+        if self.faults is not None and self.faults.command_aborted(
+                self.sim.rng, self.fault_point):
+            yield from self._complete(sq, sqe, Status.ABORTED_BY_REQUEST, 0)
+            return
         try:
             opcode = IoOpcode(sqe.opcode)
         except ValueError:
@@ -429,6 +451,9 @@ class NvmeController(PCIeFunction):
         except PrpError:
             yield from self._complete(sq, sqe, Status.INVALID_FIELD, 0)
             return
+        except FabricFaultError:
+            yield from self._complete(sq, sqe, Status.DATA_TRANSFER_ERROR, 0)
+            return
 
         if opcode == IoOpcode.READ:
             # Media access, then DMA the data out to the host buffers.
@@ -449,9 +474,14 @@ class NvmeController(PCIeFunction):
         elif opcode == IoOpcode.COMPARE:
             # Fetch the host's reference data, read the medium, compare.
             parts = []
-            for addr, size in segs:
-                part = yield from self.dma_read(addr, size)
-                parts.append(part)
+            try:
+                for addr, size in segs:
+                    part = yield from self.dma_read(addr, size)
+                    parts.append(part)
+            except FabricFaultError:
+                yield from self._complete(sq, sqe,
+                                          Status.DATA_TRANSFER_ERROR, 0)
+                return
             ok = yield from self.media.access("read", nbytes)
             if not ok:
                 yield from self._complete(sq, sqe,
@@ -464,9 +494,14 @@ class NvmeController(PCIeFunction):
         else:  # WRITE
             # Fetch data from host buffers (non-posted reads), then media.
             parts = []
-            for addr, size in segs:
-                part = yield from self.dma_read(addr, size)
-                parts.append(part)
+            try:
+                for addr, size in segs:
+                    part = yield from self.dma_read(addr, size)
+                    parts.append(part)
+            except FabricFaultError:
+                yield from self._complete(sq, sqe,
+                                          Status.DATA_TRANSFER_ERROR, 0)
+                return
             ok = yield from self.media.access("write", nbytes)
             if not ok:
                 yield from self._complete(sq, sqe, Status.WRITE_FAULT, 0)

@@ -3,16 +3,16 @@ posted/non-posted transaction engine."""
 
 from .address import AddressError, AddressMap, Mapping
 from .device import Bar, PCIeFunction
-from .fabric import Fabric, Resolution
-from .ntb import NtbError, NtbFunction, NtbWindow
+from .fabric import Fabric, FabricFaultError, Resolution
+from .ntb import NtbError, NtbFunction, NtbLinkDown, NtbWindow
 from .tlp import TlpKind, WireCost, completion_cost, read_request_cost, write_cost
 from .topology import Cluster, Host, Link, Node, TopologyError
 
 __all__ = [
     "AddressMap", "AddressError", "Mapping",
     "PCIeFunction", "Bar",
-    "Fabric", "Resolution",
-    "NtbFunction", "NtbWindow", "NtbError",
+    "Fabric", "FabricFaultError", "Resolution",
+    "NtbFunction", "NtbWindow", "NtbError", "NtbLinkDown",
     "TlpKind", "WireCost", "write_cost", "read_request_cost",
     "completion_cost",
     "Cluster", "Host", "Node", "Link", "TopologyError",

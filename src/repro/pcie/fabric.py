@@ -31,12 +31,24 @@ from ..sim import NULL_TRACER, Process, Simulator
 from ..units import serialize_ns
 from .address import AddressError
 from .device import Bar
-from .ntb import NtbFunction
+from .ntb import NtbFunction, NtbLinkDown
 from .tlp import completion_cost, read_request_cost, write_cost
 from .topology import Cluster, Host, Node
 
 #: Safety bound on NTB window chains (window -> window -> ...).
 MAX_NTB_CROSSINGS = 3
+
+
+class FabricFaultError(Exception):
+    """A non-posted transaction ended in a completion timeout because a
+    fault point on its path was down or dropped the TLP.  Raised to the
+    initiator *after* ``PcieConfig.completion_timeout_ns`` has elapsed,
+    mirroring real completion-timeout semantics."""
+
+    def __init__(self, point: str, addr: int) -> None:
+        super().__init__(f"completion timeout at {point} (addr {addr:#x})")
+        self.point = point
+        self.addr = addr
 
 
 @dataclasses.dataclass(frozen=True)
@@ -65,9 +77,14 @@ class Fabric:
         # Posted-ordering clamp: (initiator node, final host) -> last
         # arrival time of a posted write on that flow.
         self._posted_clamp: dict[tuple[Node, Host], int] = {}
+        #: optional FaultPointRegistry consulted on every transaction;
+        #: None keeps the fault-free hot path branch-light.
+        self.faults = None
         #: accounting
         self.posted_writes = 0
         self.reads = 0
+        self.dropped_writes = 0
+        self.timed_out_reads = 0
 
     # -- address resolution ----------------------------------------------------
 
@@ -144,13 +161,29 @@ class Fabric:
         device DMA writes.
         """
         data = bytes(data)
-        res = self.resolve(host, addr, len(data))
+        try:
+            res = self.resolve(host, addr, len(data))
+        except NtbLinkDown as down:
+            # Posted semantics: the write vanishes silently at the
+            # severed adapter; the initiator never learns.
+            self._drop_write(down.point, addr, len(data))
+            return
+        point = None
+        if self.faults is not None:
+            point = (self.faults.link_blocked(host.name, res.host.name)
+                     or self.faults.tlp_dropped(self.sim.rng, host.name,
+                                                res.host.name))
+        if point is not None:
+            self._drop_write(point, addr, len(data))
+            return
         path = self.cluster.path(initiator, res.node)
         self.posted_writes += 1
 
         yield from self._occupy(path, write_cost(len(data), self.config).bytes_on_wire)
         latency = self.cluster.hop_latency(path)
         latency += res.crossings * self.config.ntb_translation_ns
+        if self.faults is not None:
+            latency += self.faults.tlp_delay_ns(host.name, res.host.name)
         if res.kind == "mem":
             latency += self.config.memory_write_latency_ns
         else:
@@ -174,6 +207,11 @@ class Fabric:
                          final=res.addr if res.kind == "mem" else res.offset,
                          size=len(data), crossings=res.crossings)
 
+    def _drop_write(self, point: str, addr: int, size: int) -> None:
+        self.dropped_writes += 1
+        self.tracer.emit("fault", "write-dropped", point=point, addr=addr,
+                         size=size)
+
     def post_write(self, initiator: Node, host: Host, addr: int,
                    data: bytes | bytearray | memoryview) -> Process:
         """Fire-and-forget posted write (returns the delivery process)."""
@@ -189,7 +227,17 @@ class Fabric:
         """
         if length <= 0:
             raise ValueError("read length must be positive")
-        res = self.resolve(host, addr, length)
+        try:
+            res = self.resolve(host, addr, length)
+        except NtbLinkDown as down:
+            yield from self._read_timeout(down.point, addr)
+        point = None
+        if self.faults is not None:
+            point = (self.faults.link_blocked(host.name, res.host.name)
+                     or self.faults.tlp_dropped(self.sim.rng, host.name,
+                                                res.host.name))
+        if point is not None:
+            yield from self._read_timeout(point, addr)
         path = self.cluster.path(initiator, res.node)
         self.reads += 1
 
@@ -198,6 +246,8 @@ class Fabric:
             path, read_request_cost(length, self.config).bytes_on_wire)
         req_latency = self.cluster.hop_latency(path)
         req_latency += res.crossings * self.config.ntb_translation_ns
+        if self.faults is not None:
+            req_latency += self.faults.tlp_delay_ns(host.name, res.host.name)
         yield self.sim.timeout(req_latency)
 
         # Target service + data fetch.
@@ -223,6 +273,15 @@ class Fabric:
         self.tracer.emit("pcie", "read-complete", addr=addr, size=length,
                          crossings=res.crossings)
         return data
+
+    def _read_timeout(self, point: str, addr: int) -> t.Generator:
+        """Non-posted request into a severed/lossy path: the completion
+        never arrives, so the initiator sits out its completion timeout
+        and then sees the failure."""
+        self.timed_out_reads += 1
+        yield self.sim.timeout(self.config.completion_timeout_ns)
+        self.tracer.emit("fault", "read-timeout", point=point, addr=addr)
+        raise FabricFaultError(point, addr)
 
     # -- conveniences -----------------------------------------------------------
 

@@ -25,6 +25,17 @@ class NtbError(Exception):
     pass
 
 
+class NtbLinkDown(NtbError):
+    """Raised at resolve time when a transaction would traverse a
+    downed NTB adapter link (fault injection).  The fabric converts it
+    into the hardware behaviour: posted writes vanish, non-posted reads
+    end in a completion timeout."""
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"NTB link down at {point}")
+        self.point = point
+
+
 @dataclasses.dataclass(frozen=True)
 class NtbWindow:
     """One LUT entry: BAR offset range -> (remote host, remote base)."""
@@ -51,6 +62,9 @@ class NtbFunction(PCIeFunction):
         self._windows: dict[int, NtbWindow] = {}  # keyed by bar_offset
         self._lut_alloc: RangeAllocator | None = None
         self.aperture = aperture
+        #: cable state; toggled by fault injection (``link:<host>``)
+        self.link_up = True
+        self.link_transitions = 0
 
     def on_installed(self) -> None:
         self._lut_alloc = RangeAllocator(0, self.aperture,
@@ -85,10 +99,23 @@ class NtbFunction(PCIeFunction):
     def window_count(self) -> int:
         return len(self._windows)
 
+    # -- link state (fault injection) ---------------------------------------
+
+    def set_link_state(self, up: bool) -> None:
+        """Sever or restore the adapter's cable.  While down, every
+        translation through this NTB fails with :class:`NtbLinkDown`;
+        LUT windows survive the outage (the paper's adapters retrain
+        without reprogramming)."""
+        if up != self.link_up:
+            self.link_up = up
+            self.link_transitions += 1
+
     # -- translation (used by the fabric during resolution) -----------------
 
     def translate(self, bar: Bar, addr: int, length: int) -> tuple[Host, int]:
         """Translate a local BAR hit into (remote host, remote address)."""
+        if not self.link_up:
+            raise NtbLinkDown(self.name)
         offset = bar.offset_of(addr)
         window = self._find_window(offset, length)
         if window is None:

@@ -3,6 +3,7 @@
 from .builders import (FIG10_SCENARIOS, MultiHostScenario, Scenario,
                        build_fig10_scenario, local_linux, multihost,
                        nvmeof_remote, ours_local, ours_remote)
+from .chaos import CHAOS_RELIABILITY, ChaosScenario, chaos_cluster
 from .testbed import LocalTestbed, PcieTestbed, RdmaTestbed
 
 __all__ = [
@@ -10,4 +11,5 @@ __all__ = [
     "Scenario", "MultiHostScenario", "FIG10_SCENARIOS",
     "build_fig10_scenario", "local_linux", "nvmeof_remote",
     "ours_local", "ours_remote", "multihost",
+    "ChaosScenario", "chaos_cluster", "CHAOS_RELIABILITY",
 ]

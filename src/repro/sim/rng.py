@@ -37,6 +37,18 @@ class RngRegistry:
             return low
         return int(self.stream(name).integers(low, high + 1))
 
+    def bernoulli(self, name: str, p: float) -> bool:
+        """One biased coin flip from the named stream.
+
+        Degenerate probabilities short-circuit *without* consuming a
+        draw, so plans with p=0 points leave every stream untouched.
+        """
+        if p <= 0.0:
+            return False
+        if p >= 1.0:
+            return True
+        return bool(self.stream(name).random() < p)
+
     def lognormal_ns(self, name: str, median: float, sigma: float,
                      cap: float | None = None) -> int:
         """Right-skewed latency draw with the given median (ns).
