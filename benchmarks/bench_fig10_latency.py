@@ -8,11 +8,15 @@ shape (who wins, by roughly what factor).
 
 from __future__ import annotations
 
+import collections
+
+import numpy as np
 from conftest import run_experiment
 
-from repro.analysis import Fig10Report, render_boxplots
+from repro.analysis import Fig10Report, format_table, render_boxplots
 from repro.scenarios import FIG10_SCENARIOS, build_fig10_scenario
 from repro.sim import BoxplotStats
+from repro.telemetry import STAGES
 from repro.workloads import FioJob, run_fio
 
 IOS = 1500
@@ -53,3 +57,57 @@ def test_fig10_latency(benchmark, results_writer):
     assert report.shape_ok(), report.deltas_us()
     checks = report.check_claims()
     assert all(checks.values()), (report.deltas_us(), checks)
+
+
+def test_fig10_stage_decomposition(benchmark, results_writer):
+    """Span-derived stage breakdown for the distributed-driver scenarios.
+
+    Cross-checks the telemetry spans against the fio latency recorder:
+    every recorded end-to-end latency must appear verbatim among the
+    span durations, and per span the seven stage durations must sum to
+    that latency *exactly* (same timestamps, telescoping differences).
+    """
+    ios, ramp = 400, 50
+
+    def experiment():
+        out = {}
+        for name in ("ours-local", "ours-remote"):
+            scenario = build_fig10_scenario(name, seed=3000,
+                                            telemetry=True)
+            result = run_fio(scenario.device,
+                             FioJob(name="decomp", rw="randread",
+                                    bs=4096, iodepth=1, total_ios=ios,
+                                    ramp_ios=ramp))
+            out[name] = (result, scenario.telemetry.spans.clean_spans())
+        return out
+
+    out = run_experiment(benchmark, experiment)
+
+    sections = []
+    for name, (result, spans) in out.items():
+        # Fault-free QD1 run: every I/O produced one clean span.
+        assert len(spans) == ios
+        durations = []
+        for span in spans:
+            stages = span.stage_durations()
+            assert sum(stages.values()) == span.duration_ns
+            durations.append(span.duration_ns)
+        # The recorder holds the post-ramp latencies; each one must
+        # match a span duration exactly (same clock, same boundaries).
+        recorded = collections.Counter(
+            result.read_latencies.values().tolist())
+        assert len(result.read_latencies) == ios - ramp
+        assert not recorded - collections.Counter(durations)
+
+        total = float(np.median(durations))
+        rows = []
+        for stage in STAGES:
+            med = float(np.median([s.stage_durations()[stage]
+                                   for s in spans]))
+            rows.append([stage, f"{med / 1000:.2f}",
+                         f"{100 * med / total:.0f}%"])
+        rows.append(["TOTAL", f"{total / 1000:.2f}", "100%"])
+        sections.append(format_table(
+            ["stage", "median (us)", "share"], rows,
+            title=f"{name}: 4 KiB QD1 randread stage decomposition"))
+    results_writer("fig10_stage_decomposition", "\n\n".join(sections))

@@ -102,6 +102,36 @@ def _cmd_multihost(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    # Imported lazily so plain simulation commands never pay for the
+    # exporter stack.
+    import pathlib
+
+    from .telemetry import run_scenario
+
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    print(f"running {args.scenario} with telemetry "
+          f"(ios={args.ios} seed={args.seed}) ...")
+    tr = run_scenario(args.scenario, ios=args.ios, seed=args.seed,
+                      iodepth=args.iodepth, bs=parse_size(args.bs))
+    trace_path = out_dir / f"{args.scenario}-trace.json"
+    prom_path = out_dir / f"{args.scenario}-metrics.prom"
+    trace_path.write_text(tr.perfetto_json())
+    prom_path.write_text(tr.prometheus_text())
+    spans = tr.telemetry.spans.finished()
+    clean = sum(1 for s in spans if s.clean)
+    total_ios = sum(r.ios for r in tr.results)
+    errors = sum(r.errors for r in tr.results)
+    print(f"  {total_ios} I/Os, {errors} errors; "
+          f"{len(spans)} spans recorded ({clean} clean)")
+    print(f"  wrote {trace_path} "
+          f"({trace_path.stat().st_size} bytes)")
+    print(f"  wrote {prom_path} "
+          f"({prom_path.stat().st_size} bytes)")
+    return 0
+
+
 def _cmd_staticcheck(args: argparse.Namespace) -> int:
     # Imported lazily: the checker is a dev tool and pulls in nothing
     # the simulation needs.
@@ -153,6 +183,20 @@ def build_parser() -> argparse.ArgumentParser:
     mh.add_argument("--ios", type=int, default=300)
     mh.add_argument("--seed", type=int, default=42)
     mh.set_defaults(func=_cmd_multihost)
+
+    tele = sub.add_parser(
+        "telemetry",
+        help="run a scenario with spans/metrics on and export "
+             "Perfetto JSON + Prometheus text")
+    tele.add_argument("--scenario", default="ours-remote",
+                      choices=list(FIG10_SCENARIOS) + ["chaos"])
+    tele.add_argument("--ios", type=int, default=200)
+    tele.add_argument("--bs", default="4k")
+    tele.add_argument("--iodepth", type=int, default=4)
+    tele.add_argument("--seed", type=int, default=7)
+    tele.add_argument("--out-dir", default="telemetry-out",
+                      help="directory for the exported files")
+    tele.set_defaults(func=_cmd_telemetry)
 
     sc = sub.add_parser("staticcheck",
                         help="run the AST invariant checker "

@@ -13,6 +13,7 @@ import dataclasses
 import typing as t
 
 from ..sim import Event, LatencyRecorder, Resource, Simulator
+from ..telemetry.hub import NULL_TELEMETRY
 
 
 class BlockError(Exception):
@@ -32,6 +33,8 @@ class BlockRequest:
     status: int = 0               # NVMe status code; 0 = success
     submit_time: int = -1
     complete_time: int = -1
+    #: telemetry span (an :class:`~repro.telemetry.IoSpan`) when enabled
+    span: t.Any = None
 
     #: ops that carry host data toward the device
     DATA_OUT_OPS = ("write", "compare")
@@ -69,6 +72,7 @@ class BlockDevice:
         self.capacity_lbas = capacity_lbas
         self.queue_depth = queue_depth
         self._tags = Resource(sim, capacity=queue_depth)
+        self.telemetry = NULL_TELEMETRY
         self.latencies = LatencyRecorder(name)
         self.completed = 0
         self.errors = 0
@@ -85,6 +89,11 @@ class BlockDevice:
         """
         self._validate(request)
         request.submit_time = self.sim.now
+        tele = self.telemetry
+        if tele.enabled:
+            request.span = tele.spans.begin(
+                self.name, request.op, request.lba,
+                request.nblocks * self.lba_bytes, request.submit_time)
         done = Event(self.sim)
         self.sim.process(self._run(request, done))
         return done
@@ -119,6 +128,8 @@ class BlockDevice:
         finally:
             self._tags.release(tag)
         request.complete_time = self.sim.now
+        if request.span is not None:
+            self.telemetry.spans.finish(request.span, request.complete_time)
         self.latencies.record(request.latency_ns)
         self.completed += 1
         if not request.ok:

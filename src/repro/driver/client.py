@@ -395,7 +395,11 @@ class DistributedNvmeClient(BlockDevice):
             sqe.cid = self._cid
             done = Event(self.sim)
             self._inflight[sqe.cid] = done
-            self._issue(sqe)
+            if request.span is not None:
+                # Publish the span under its on-the-wire identity so the
+                # controller can stamp its boundaries.
+                self.telemetry.spans.bind(self.qid, sqe.cid, request.span)
+            self._issue(sqe, request.span)
 
             if rel.command_timeout_ns <= 0:
                 # Recovery disabled (the default): wait unconditionally.
@@ -416,6 +420,8 @@ class DistributedNvmeClient(BlockDevice):
             # as stale in _dispatch instead of completing anything, so
             # each request completes exactly once.
             self._inflight.pop(sqe.cid, None)
+            if request.span is not None:
+                self.telemetry.spans.unbind(self.qid, sqe.cid)
             self.timeouts += 1
             self.tracer.emit("recovery", "timeout", client=self.name,
                              cid=sqe.cid, attempt=attempt)
@@ -430,6 +436,9 @@ class DistributedNvmeClient(BlockDevice):
             # Linear backoff; the retry is a fresh command with a fresh
             # cid (reads/writes are idempotent at the block layer).
             yield self.sim.timeout(rel.retry_backoff_ns * attempt)
+        span = request.span
+        if span is not None and span.cid >= 0:
+            self.telemetry.spans.unbind(span.qid, span.cid)
         # Naive completion software path + copy out of the bounce buffer.
         yield self.sim.timeout(cfg.dist_complete_ns)
         request.status = cqe.status
@@ -441,18 +450,31 @@ class DistributedNvmeClient(BlockDevice):
             yield self.sim.timeout(cfg.iommu_unmap_ns)
         self._parts.put(part)
 
-    def _issue(self, sqe: SubmissionEntry) -> None:
+    def _issue(self, sqe: SubmissionEntry, span=None) -> None:
         """One submission: SQE store, then the doorbell behind it."""
         # Write the SQE into queue memory.  Device-side SQ: posted store
         # through the NTB window; client-side SQ: plain local store.
         slot = self.sq.advance_tail()
-        self._sq_conn.write(slot * 64, sqe.pack())
+        sqe_write = self._sq_conn.write(slot * 64, sqe.pack())
         # Ring the doorbell through the mapped BAR (posted; ordered
         # behind the SQE store by PCIe posted-write ordering).
-        self.node.fabric.post_write(
+        db_write = self.node.fabric.post_write(
             self.node.host.rc, self.node.host,
             self._bar + sq_doorbell_offset(self.qid),
             self.sq.tail.to_bytes(4, "little"))
+        if span is not None:
+            # Delivery-time boundaries: piggyback on the posted writes'
+            # completion events — adds no queue entries or RNG draws, so
+            # simulated timing is identical with telemetry off.
+            span.mark("sqe-issued", self.sim.now)
+            if sqe_write.callbacks is not None:
+                sqe_write.callbacks.append(
+                    lambda _ev, s=span: s.mark("sqe-delivered",
+                                               self.sim.now))
+            if db_write.callbacks is not None:
+                db_write.callbacks.append(
+                    lambda _ev, s=span: s.mark("doorbell-delivered",
+                                               self.sim.now))
 
     def _memcpy_ns(self, nbytes: int) -> int:
         cfg = self.config.host

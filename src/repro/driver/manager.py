@@ -24,6 +24,7 @@ import typing as t
 
 from ..config import SimulationConfig
 from ..sim import NULL_TRACER, Resource, Simulator
+from ..telemetry.hub import NULL_TELEMETRY
 from ..sisci import LocalSegment, SisciNode
 from ..smartio import SmartIoService
 from . import metadata as meta
@@ -59,6 +60,7 @@ class NvmeManager:
         self._admin_lock = Resource(sim, capacity=1)
         # slot -> (last heartbeat value, sim time it last changed)
         self._hb_seen: dict[int, tuple[int, int]] = {}
+        self.telemetry = NULL_TELEMETRY
         self.rpcs_served = 0
         self.leases_reclaimed = 0
 
@@ -149,6 +151,7 @@ class NvmeManager:
     def _serve(self, slot: int, req: dict) -> t.Generator:
         assert self.admin is not None and self.metadata_segment is not None
         self.rpcs_served += 1
+        served_at = self.sim.now
         rpc_status = meta.RPC_OK
         qid = 0
         if req["op"] == meta.OP_CREATE_QP:
@@ -208,6 +211,14 @@ class NvmeManager:
             meta.slot_offset(slot),
             meta.pack_slot(meta.SLOT_RESPONSE, op=req["op"], qid=qid,
                            rpc_status=rpc_status))
+        tele = self.telemetry
+        if tele.enabled:
+            op_name = {meta.OP_CREATE_QP: "create-qp",
+                       meta.OP_DELETE_QP: "delete-qp"}.get(req["op"],
+                                                           "unknown")
+            tele.metrics.observe(
+                "repro_manager_rpc_latency_ns", self.sim.now - served_at,
+                help="admin mailbox RPC service time", op=op_name)
 
     # -- liveness leases -----------------------------------------------------------
 

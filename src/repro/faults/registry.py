@@ -56,6 +56,12 @@ class FaultPointRegistry:
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self._points: dict[str, PointState] = {}
+        #: fault decisions actually taken, by kind (telemetry scrapes
+        #: this; plain ints so the hot path stays allocation-free)
+        self.injected: dict[str, int] = {}
+
+    def _count(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
 
     # -- registration -----------------------------------------------------
 
@@ -84,6 +90,8 @@ class FaultPointRegistry:
 
     def set_link(self, name: str, up: bool) -> None:
         state = self.lookup(name)
+        if not up and state.link_up:
+            self._count("link-down")
         state.link_up = up
         obj = state.obj
         if obj is not None and hasattr(obj, "set_link_state"):
@@ -108,6 +116,7 @@ class FaultPointRegistry:
         state = self.lookup(name)
         if state.stall_clear is None:
             state.stall_clear = Event(self.sim)
+            self._count("stall")
 
     def resume(self, name: str) -> None:
         state = self.lookup(name)
@@ -133,6 +142,7 @@ class FaultPointRegistry:
             if state is not None and state.drop_probability > 0.0 \
                     and rng.bernoulli(f"fault:{name}",
                                       state.drop_probability):
+                self._count("tlp-drop")
                 return name
         return None
 
@@ -147,9 +157,12 @@ class FaultPointRegistry:
 
     def command_aborted(self, rng: RngRegistry, name: str) -> bool:
         state = self._points.get(name)
-        return (state is not None and state.abort_probability > 0.0
-                and rng.bernoulli(f"fault:{name}:abort",
-                                  state.abort_probability))
+        aborted = (state is not None and state.abort_probability > 0.0
+                   and rng.bernoulli(f"fault:{name}:abort",
+                                     state.abort_probability))
+        if aborted:
+            self._count("cmd-abort")
+        return aborted
 
     def stall_barrier(self, name: str) -> t.Generator:
         """Generator: block while the point is stalled (no-op otherwise)."""

@@ -28,6 +28,7 @@ from ..config import NvmeConfig
 from ..pcie.device import Bar, PCIeFunction
 from ..pcie.fabric import FabricFaultError
 from ..sim import NULL_TRACER, Signal, Simulator
+from ..telemetry.hub import NULL_TELEMETRY
 from .constants import (CC_EN, CSTS_RDY, CSTS_SHST_COMPLETE, DOORBELL_BASE,
                         PAGE_SIZE, AdminOpcode, IoOpcode, Status,
                         CNS_ACTIVE_NS_LIST, CNS_CONTROLLER, CNS_NAMESPACE,
@@ -94,6 +95,7 @@ class NvmeController(PCIeFunction):
         #: ``ctrl:<name>`` (stall / per-command abort injection).
         self.faults = None
         self.fault_point = f"ctrl:{name}"
+        self.telemetry = NULL_TELEMETRY
         #: accounting
         self.commands_completed = 0
         self.fetches = 0
@@ -267,6 +269,7 @@ class NvmeController(PCIeFunction):
             self.fetches += 1
             sqe = SubmissionEntry.unpack(raw)
             yield self.sim.timeout(cfg.command_decode_ns)
+            self._span_mark(sq, sqe, "fetched")
             self.tracer.emit("nvme", "fetched", qid=sq.state.qid,
                              opcode=sqe.opcode, cid=sqe.cid)
             if sq.state.qid == 0:
@@ -423,7 +426,7 @@ class NvmeController(PCIeFunction):
             return
 
         if opcode == IoOpcode.FLUSH:
-            yield from self.media.access("flush", 0)
+            yield from self._media_access("flush", 0, sq, sqe)
             yield from self._complete(sq, sqe, Status.SUCCESS, 0)
             return
 
@@ -437,7 +440,7 @@ class NvmeController(PCIeFunction):
 
         if opcode == IoOpcode.WRITE_ZEROES:
             # No data transfer: the controller zeroes the range itself.
-            ok = yield from self.media.access("write", nbytes)
+            ok = yield from self._media_access("write", nbytes, sq, sqe)
             if not ok:
                 yield from self._complete(sq, sqe, Status.WRITE_FAULT, 0)
                 return
@@ -457,7 +460,7 @@ class NvmeController(PCIeFunction):
 
         if opcode == IoOpcode.READ:
             # Media access, then DMA the data out to the host buffers.
-            ok = yield from self.media.access("read", nbytes)
+            ok = yield from self._media_access("read", nbytes, sq, sqe)
             if not ok:
                 yield from self._complete(sq, sqe,
                                           Status.UNRECOVERED_READ_ERROR, 0)
@@ -482,7 +485,7 @@ class NvmeController(PCIeFunction):
                 yield from self._complete(sq, sqe,
                                           Status.DATA_TRANSFER_ERROR, 0)
                 return
-            ok = yield from self.media.access("read", nbytes)
+            ok = yield from self._media_access("read", nbytes, sq, sqe)
             if not ok:
                 yield from self._complete(sq, sqe,
                                           Status.UNRECOVERED_READ_ERROR, 0)
@@ -502,7 +505,7 @@ class NvmeController(PCIeFunction):
                 yield from self._complete(sq, sqe,
                                           Status.DATA_TRANSFER_ERROR, 0)
                 return
-            ok = yield from self.media.access("write", nbytes)
+            ok = yield from self._media_access("write", nbytes, sq, sqe)
             if not ok:
                 yield from self._complete(sq, sqe, Status.WRITE_FAULT, 0)
                 return
@@ -530,6 +533,7 @@ class NvmeController(PCIeFunction):
         # ordering rules; the fabric clamp plus this wait are equivalent).
         yield from self.fabric_write_wait(cq.state.slot_addr(slot),
                                           cqe.pack())
+        self._span_mark(sq, sqe, "cqe-delivered")
         self.commands_completed += 1
         self.tracer.emit("nvme", "completed", qid=sq.state.qid,
                          cid=sqe.cid, status=int(status))
@@ -543,6 +547,22 @@ class NvmeController(PCIeFunction):
                     entry.data.to_bytes(4, "little"))
 
     # -------------------------------------------------------------- helpers
+
+    def _span_mark(self, sq: _ControllerSq, sqe: SubmissionEntry,
+                   boundary: str) -> None:
+        """Stamp a telemetry span boundary for the command, if a client
+        bound one (admin commands and retired cids are silent misses)."""
+        tele = self.telemetry
+        if tele.enabled:
+            tele.spans.mark_cmd(sq.state.qid, sqe.cid, boundary,
+                                self.sim.now)
+
+    def _media_access(self, kind: str, nbytes: int, sq: _ControllerSq,
+                      sqe: SubmissionEntry):
+        """Media access plus the ``media-done`` span boundary."""
+        ok = yield from self.media.access(kind, nbytes)
+        self._span_mark(sq, sqe, "media-done")
+        return ok
 
     def fabric_write_wait(self, addr: int, data: bytes):
         """Posted write, but the caller waits for delivery (ordering)."""

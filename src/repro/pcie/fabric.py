@@ -82,7 +82,9 @@ class Fabric:
         self.faults = None
         #: accounting
         self.posted_writes = 0
+        self.posted_bytes = 0
         self.reads = 0
+        self.read_bytes = 0
         self.dropped_writes = 0
         self.timed_out_reads = 0
 
@@ -178,6 +180,7 @@ class Fabric:
             return
         path = self.cluster.path(initiator, res.node)
         self.posted_writes += 1
+        self.posted_bytes += len(data)
 
         yield from self._occupy(path, write_cost(len(data), self.config).bytes_on_wire)
         latency = self.cluster.hop_latency(path)
@@ -240,6 +243,7 @@ class Fabric:
             yield from self._read_timeout(point, addr)
         path = self.cluster.path(initiator, res.node)
         self.reads += 1
+        self.read_bytes += length
 
         # Request leg (headers only).
         yield from self._occupy(

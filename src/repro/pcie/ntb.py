@@ -65,6 +65,9 @@ class NtbFunction(PCIeFunction):
         #: cable state; toggled by fault injection (``link:<host>``)
         self.link_up = True
         self.link_transitions = 0
+        #: accounting: successful LUT translations and bytes forwarded
+        self.translations = 0
+        self.bytes_forwarded = 0
 
     def on_installed(self) -> None:
         self._lut_alloc = RangeAllocator(0, self.aperture,
@@ -122,6 +125,8 @@ class NtbFunction(PCIeFunction):
             raise NtbError(
                 f"{self.name}: access at BAR offset {offset:#x} (+{length}) "
                 f"hits no LUT window")
+        self.translations += 1
+        self.bytes_forwarded += length
         return (window.remote_host,
                 window.remote_base + (offset - window.bar_offset))
 

@@ -24,6 +24,7 @@ from ..driver import (BlockDevice, DistributedNvmeClient, NvmeManager,
                       StockNvmeDriver)
 from ..nvmeof import NvmeofInitiator, SpdkTarget
 from ..sim import Simulator
+from ..telemetry.hub import Telemetry
 from .testbed import LocalTestbed, PcieTestbed, RdmaTestbed
 
 #: The four Fig. 10 scenario names, in the paper's presentation order.
@@ -41,22 +42,33 @@ class Scenario:
     testbed: t.Any
     extras: dict = dataclasses.field(default_factory=dict)
 
+    @property
+    def telemetry(self) -> Telemetry | None:
+        """The hub wired in at build time (``telemetry=True``), if any."""
+        return self.extras.get("telemetry")
+
 
 def local_linux(config: SimulationConfig | None = None,
                 seed: int | None = None,
-                queue_depth: int = 64) -> Scenario:
+                queue_depth: int = 64,
+                telemetry: bool = False) -> Scenario:
     """Stock Linux NVMe driver on a local device."""
     bed = LocalTestbed(config=config, seed=seed)
     driver = StockNvmeDriver(bed.sim, bed.fabric, bed.host,
                              bed.nvme.bars[0].base, bed.config,
                              queue_depth=queue_depth)
+    extras = {}
+    if telemetry:
+        extras["telemetry"] = Telemetry(bed.sim).attach(
+            fabric=bed.fabric, controllers=[bed.nvme], devices=[driver])
     bed.sim.run(until=bed.sim.process(driver.start()))
-    return Scenario("local-linux", bed.sim, driver, bed)
+    return Scenario("local-linux", bed.sim, driver, bed, extras=extras)
 
 
 def nvmeof_remote(config: SimulationConfig | None = None,
                   seed: int | None = None,
-                  queue_depth: int = 32) -> Scenario:
+                  queue_depth: int = 32,
+                  telemetry: bool = False) -> Scenario:
     """NVMe-oF: kernel initiator over RDMA to an SPDK target."""
     bed = RdmaTestbed(config=config, seed=seed)
     target = SpdkTarget(bed.sim, bed.fabric, bed.target_host,
@@ -65,48 +77,65 @@ def nvmeof_remote(config: SimulationConfig | None = None,
     initiator = NvmeofInitiator(bed.sim, bed.initiator_host,
                                 bed.initiator_nic, bed.config,
                                 queue_depth=queue_depth)
+    extras: dict = {"target": target}
+    if telemetry:
+        extras["telemetry"] = Telemetry(bed.sim).attach(
+            fabric=bed.fabric, controllers=[bed.nvme],
+            devices=[initiator])
     bed.sim.run(until=bed.sim.process(initiator.connect(target)))
     return Scenario("nvmeof-remote", bed.sim, initiator, bed,
-                    extras={"target": target})
+                    extras=extras)
 
 
 def _ours(client_host: int, config: SimulationConfig | None,
           seed: int | None, queue_depth: int, label: str,
-          n_hosts: int = 2, **client_kwargs) -> Scenario:
+          n_hosts: int = 2, telemetry: bool = False,
+          **client_kwargs) -> Scenario:
     bed = PcieTestbed(config=config, n_hosts=n_hosts, with_nvme=True,
                       seed=seed)
+    tele = None
+    if telemetry:
+        tele = Telemetry(bed.sim).attach(fabric=bed.fabric, ntbs=bed.ntbs,
+                                         controllers=[bed.nvme])
     manager = NvmeManager(bed.sim, bed.smartio, bed.node(0),
                           bed.nvme_device_id, bed.config)
+    if tele is not None:
+        tele.attach(managers=[manager])
     bed.sim.run(until=bed.sim.process(manager.start()))
     client = DistributedNvmeClient(bed.sim, bed.smartio,
                                    bed.node(client_host),
                                    bed.nvme_device_id, bed.config,
                                    queue_depth=queue_depth,
                                    **client_kwargs)
+    if tele is not None:
+        tele.attach(clients=[client])
     bed.sim.run(until=bed.sim.process(client.start()))
-    return Scenario(label, bed.sim, client, bed,
-                    extras={"manager": manager})
+    extras: dict = {"manager": manager}
+    if tele is not None:
+        extras["telemetry"] = tele
+    return Scenario(label, bed.sim, client, bed, extras=extras)
 
 
 def ours_local(config: SimulationConfig | None = None,
                seed: int | None = None, queue_depth: int = 32,
-               **client_kwargs) -> Scenario:
+               telemetry: bool = False, **client_kwargs) -> Scenario:
     """Distributed driver, client co-located with the device."""
     return _ours(0, config, seed, queue_depth, "ours-local",
-                 **client_kwargs)
+                 telemetry=telemetry, **client_kwargs)
 
 
 def ours_remote(config: SimulationConfig | None = None,
                 seed: int | None = None, queue_depth: int = 32,
-                **client_kwargs) -> Scenario:
+                telemetry: bool = False, **client_kwargs) -> Scenario:
     """Distributed driver, client across the NTB cluster switch."""
     return _ours(1, config, seed, queue_depth, "ours-remote",
-                 **client_kwargs)
+                 telemetry=telemetry, **client_kwargs)
 
 
 def build_fig10_scenario(name: str,
                          config: SimulationConfig | None = None,
-                         seed: int | None = None) -> Scenario:
+                         seed: int | None = None,
+                         telemetry: bool = False) -> Scenario:
     builders = {
         "local-linux": local_linux,
         "nvmeof-remote": nvmeof_remote,
@@ -114,7 +143,8 @@ def build_fig10_scenario(name: str,
         "ours-remote": ours_remote,
     }
     try:
-        return builders[name](config=config, seed=seed)
+        return builders[name](config=config, seed=seed,
+                              telemetry=telemetry)
     except KeyError:
         raise ValueError(f"unknown scenario {name!r}; "
                          f"pick one of {FIG10_SCENARIOS}") from None

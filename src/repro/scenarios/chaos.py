@@ -26,6 +26,7 @@ from ..config import ReliabilityConfig, SimulationConfig
 from ..driver import DistributedNvmeClient, NvmeManager
 from ..faults import FaultInjector, FaultPlan, FaultPointRegistry
 from ..sim import Simulator, Tracer
+from ..telemetry.hub import Telemetry
 from .testbed import PcieTestbed
 
 #: Reliability knobs used when the caller does not bring their own:
@@ -53,6 +54,7 @@ class ChaosScenario:
     injector: FaultInjector
     tracer: Tracer
     plan: FaultPlan
+    telemetry: Telemetry | None = None
 
     def link_points(self) -> list[str]:
         return [f"link:{h.name}" for h in self.testbed.hosts]
@@ -68,10 +70,8 @@ class ChaosScenario:
     def trace_log(self, *categories: str) -> list[tuple]:
         """Flat, comparable view of the trace (for replay assertions)."""
         wanted = set(categories) or None
-        return [(r.time_ns, r.category, r.message, tuple(sorted(
-            r.payload.items())))
-            for r in self.tracer.records
-            if wanted is None or r.category in wanted]
+        return [r.as_tuple() for r in self.tracer.records
+                if wanted is None or r.category in wanted]
 
 
 def chaos_cluster(n_clients: int = 4,
@@ -82,6 +82,7 @@ def chaos_cluster(n_clients: int = 4,
                   queue_entries: int = 64,
                   reliability: ReliabilityConfig | None = None,
                   trace_categories: t.Collection[str] | None = None,
+                  telemetry: bool = False,
                   ) -> ChaosScenario:
     """N remote clients sharing host0's controller, faults injectable.
 
@@ -112,8 +113,16 @@ def chaos_cluster(n_clients: int = 4,
     bed.fabric.faults = registry
     bed.nvme.faults = registry
 
+    tele = None
+    if telemetry:
+        tele = Telemetry(bed.sim).attach(fabric=bed.fabric, ntbs=bed.ntbs,
+                                         controllers=[bed.nvme],
+                                         faults=registry)
+
     manager = NvmeManager(bed.sim, bed.smartio, bed.node(0),
                           bed.nvme_device_id, base, tracer=tracer)
+    if tele is not None:
+        tele.attach(managers=[manager])
     bed.sim.run(until=bed.sim.process(manager.start()))
 
     clients: list[DistributedNvmeClient] = []
@@ -124,6 +133,8 @@ def chaos_cluster(n_clients: int = 4,
             bed.nvme_device_id, base, queue_depth=queue_depth,
             queue_entries=queue_entries, slot_index=i,
             name=f"host{host_index}-nvme", tracer=tracer)
+        if tele is not None:
+            tele.attach(clients=[client])
         bed.sim.run(until=bed.sim.process(client.start()))
         clients.append(client)
         registry.register(f"client:{client.name}", obj=client)
@@ -133,4 +144,4 @@ def chaos_cluster(n_clients: int = 4,
     return ChaosScenario(sim=bed.sim, clients=clients, manager=manager,
                          testbed=bed, registry=registry,
                          injector=injector, tracer=tracer,
-                         plan=injector.plan)
+                         plan=injector.plan, telemetry=tele)

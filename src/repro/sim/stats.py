@@ -73,7 +73,12 @@ class BoxplotStats:
                     name: str = "") -> "BoxplotStats":
         arr = np.asarray(values, dtype=np.int64)
         if arr.size == 0:
-            raise ValueError("no samples recorded")
+            # An empty recording is a legitimate outcome (a client that
+            # completed no I/O during a chaos run, a telemetry snapshot
+            # taken before traffic started): numpy's percentile would
+            # raise, so return an explicit all-zero summary instead.
+            return cls(name=name, count=0, minimum=0, q1=0.0, median=0.0,
+                       q3=0.0, p99=0.0, maximum=0, mean=0.0, stddev=0.0)
         q1, med, q3, p99 = np.percentile(arr, [25, 50, 75, 99])
         return cls(
             name=name,
@@ -101,6 +106,8 @@ class BoxplotStats:
         }
 
     def __str__(self) -> str:
+        if self.count == 0:
+            return f"{self.name or 'latency'}: n=0 (no samples)"
         u = self.as_us()
         return (f"{self.name or 'latency'}: n={self.count} "
                 f"min={u['min']:.2f}us q1={u['q1']:.2f}us "

@@ -23,6 +23,12 @@ class TraceRecord:
     message: str
     payload: dict[str, t.Any] = dataclasses.field(default_factory=dict)
 
+    def as_tuple(self) -> tuple:
+        """Stable, hashable, order-independent view of the record —
+        the canonical comparison key for replay/determinism tests."""
+        return (self.time_ns, self.category, self.message,
+                tuple(sorted(self.payload.items())))
+
 
 class Tracer:
     """Collects :class:`TraceRecord` items, optionally filtered by category."""
@@ -39,8 +45,10 @@ class Tracer:
             return
         if self.categories is not None and category not in self.categories:
             return
+        # Copy the payload: the record must capture the values at emit
+        # time even if the caller keeps mutating the objects it passed.
         self.records.append(
-            TraceRecord(self.sim.now, category, message, payload))
+            TraceRecord(self.sim.now, category, message, dict(payload)))
 
     def disable(self) -> None:
         self._enabled = False

@@ -17,7 +17,10 @@ bit-reproducibility).  Flags:
   *rates* (e.g. ``per_byte_ns``), fractional by design, consumed via
   ``round()``/:func:`repro.units.serialize_ns` at the call site;
 * string literals passed to ``bs=``/``*_bytes=`` keywords where
-  :func:`repro.units.parse_size` should be used.
+  :func:`repro.units.parse_size` should be used;
+* float expressions passed positionally to ``.record(...)`` or
+  ``.observe(...)`` — the latency recorder and the telemetry metrics
+  registry both take integer nanoseconds.
 """
 
 from __future__ import annotations
@@ -89,6 +92,17 @@ class UnitsDiscipline(Rule):
                 yield self.finding(
                     ctx, node.args[0],
                     f"float delay passed to timeout(): {_FIX_HINT}")
+        # Latency recorders and the telemetry metrics registry take
+        # integer ns: rec.record(v), metrics.observe(name, v, ...).
+        if name is not None:
+            method = name.rsplit(".", 1)[-1]
+            arg_index = {"record": 0, "observe": 1}.get(method)
+            if (arg_index is not None and len(node.args) > arg_index
+                    and _is_floaty(node.args[arg_index])):
+                yield self.finding(
+                    ctx, node.args[arg_index],
+                    f"float expression passed to {method}(): "
+                    f"{_FIX_HINT}")
 
     def _check_binding(self, ctx: FileContext, target: ast.AST,
                        value: ast.AST) -> t.Iterator[Finding]:

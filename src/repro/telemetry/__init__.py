@@ -1,0 +1,51 @@
+"""Observability for the simulated cluster (ISSUE 3 tentpole).
+
+Three pieces:
+
+* **Spans** (:mod:`.spans`) — per-I/O stage boundaries threaded from
+  block-layer submit through SQ/doorbell/fetch/media/CQE back to the
+  completion poll; stage durations telescope to the end-to-end latency
+  exactly.
+* **Metrics** (:mod:`.metrics`) — a deterministic registry of counters,
+  gauges and summaries scraped from component accounting by the
+  :class:`~repro.telemetry.hub.Telemetry` hub.
+* **Exporters** (:mod:`.perfetto`, :mod:`.prometheus`) — Chrome/Perfetto
+  trace-event JSON and Prometheus text exposition, both byte-identical
+  across identical runs.
+
+Everything is off by default: components carry a ``telemetry``
+attribute pointing at :data:`NULL_TELEMETRY`, and the hot paths pay one
+attribute/None check when disabled (the :class:`~repro.sim.Tracer`
+discipline).
+
+``run_scenario`` / ``TelemetryRun`` / ``TELEMETRY_SCENARIOS`` live in
+:mod:`.runner` and are loaded lazily here — the runner pulls in the
+scenario builders, which import the driver stack, which imports this
+package; importing it eagerly would make that cycle load-order
+sensitive.
+"""
+
+from .hub import NULL_TELEMETRY, NullTelemetry, Telemetry
+from .metrics import (COUNTER, GAUGE, SUMMARY, MetricFamily, MetricsError,
+                      MetricsRegistry)
+from .perfetto import span_events, spans_to_perfetto
+from .prometheus import registry_to_prometheus
+from .spans import BOUNDARIES, STAGES, IoSpan, SpanRecorder
+
+__all__ = [
+    "BOUNDARIES", "COUNTER", "GAUGE", "SUMMARY", "STAGES",
+    "IoSpan", "MetricFamily", "MetricsError", "MetricsRegistry",
+    "NULL_TELEMETRY", "NullTelemetry", "SpanRecorder", "Telemetry",
+    "TelemetryRun", "TELEMETRY_SCENARIOS",
+    "registry_to_prometheus", "run_scenario", "span_events",
+    "spans_to_perfetto",
+]
+
+_LAZY = ("run_scenario", "TelemetryRun", "TELEMETRY_SCENARIOS")
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import runner
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

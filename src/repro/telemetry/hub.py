@@ -1,0 +1,258 @@
+"""The telemetry hub: one object threaded through every layer.
+
+A :class:`Telemetry` instance bundles the span recorder and the metrics
+registry and knows which live components to scrape when a snapshot is
+taken.  Components hold a ``telemetry`` attribute that defaults to
+:data:`NULL_TELEMETRY`; instrumented code pays exactly one attribute
+check when telemetry is off::
+
+    tele = self.telemetry
+    if tele.enabled:
+        tele.spans.mark_cmd(qid, cid, "fetched", self.sim.now)
+
+Wiring is one call: ``telemetry.attach(fabric=..., controllers=[...],
+clients=[...], managers=[...], ntbs=[...], faults=...)`` both registers
+the components for metric collection and sets their ``telemetry``
+attribute.
+
+Metric collection is pull-based: the hot paths keep their existing
+cheap integer accounting (``fabric.posted_writes``,
+``client.retries``, ...) and :meth:`Telemetry.collect` scrapes those
+into the registry on demand — so enabling metrics adds no per-I/O cost
+beyond the span marks.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..sim.stats import iops as _iops
+from .metrics import MetricsRegistry
+from .perfetto import spans_to_perfetto
+from .prometheus import registry_to_prometheus
+from .spans import SpanRecorder
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from ..sim import Simulator
+
+
+class NullTelemetry:
+    """No-op stand-in used when telemetry is disabled (the default)."""
+
+    enabled = False
+    spans: SpanRecorder | None = None
+    metrics: MetricsRegistry | None = None
+
+
+NULL_TELEMETRY = NullTelemetry()
+
+
+class Telemetry:
+    """Spans + metrics + the component set they are collected from."""
+
+    enabled = True
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.spans = SpanRecorder()
+        self.metrics = MetricsRegistry()
+        self._fabric: t.Any = None
+        self._ntbs: list[t.Any] = []
+        self._controllers: list[t.Any] = []
+        self._clients: list[t.Any] = []
+        self._devices: list[t.Any] = []
+        self._managers: list[t.Any] = []
+        self._faults: t.Any = None
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, fabric: t.Any = None,
+               ntbs: t.Iterable[t.Any] = (),
+               controllers: t.Iterable[t.Any] = (),
+               clients: t.Iterable[t.Any] = (),
+               devices: t.Iterable[t.Any] = (),
+               managers: t.Iterable[t.Any] = (),
+               faults: t.Any = None) -> "Telemetry":
+        """Register components for collection and point their
+        ``telemetry`` attribute here.  Idempotent per component."""
+        if fabric is not None:
+            self._fabric = fabric
+        if faults is not None:
+            self._faults = faults
+        for ntb in ntbs:
+            self._add(self._ntbs, ntb)
+        for ctrl in controllers:
+            self._add(self._controllers, ctrl)
+        for client in clients:
+            self._add(self._clients, client)
+            self._add(self._devices, client)   # clients are block devices
+        for dev in devices:
+            self._add(self._devices, dev)
+        for mgr in managers:
+            self._add(self._managers, mgr)
+        return self
+
+    def _add(self, bucket: list[t.Any], obj: t.Any) -> None:
+        if obj not in bucket:
+            bucket.append(obj)
+        if hasattr(obj, "telemetry"):
+            obj.telemetry = self
+
+    # -- collection --------------------------------------------------------
+
+    def collect(self) -> MetricsRegistry:
+        """Scrape every attached component into the metrics registry."""
+        m = self.metrics
+        m.gauge_set("repro_sim_time_ns", self.sim.now,
+                    help="current simulation time")
+        if self._fabric is not None:
+            self._collect_fabric(self._fabric)
+        for ntb in self._ntbs:
+            self._collect_ntb(ntb)
+        for ctrl in self._controllers:
+            self._collect_controller(ctrl)
+        for dev in self._devices:
+            self._collect_device(dev)
+        for client in self._clients:
+            self._collect_client(client)
+        for mgr in self._managers:
+            self._collect_manager(mgr)
+        if self._faults is not None:
+            self._collect_faults(self._faults)
+        return m
+
+    def _collect_fabric(self, fabric: t.Any) -> None:
+        m = self.metrics
+        m.counter_set("repro_fabric_tlps_total", fabric.posted_writes,
+                      help="transactions routed through the PCIe fabric",
+                      kind="posted")
+        m.counter_set("repro_fabric_tlps_total", fabric.reads,
+                      kind="nonposted")
+        m.counter_set("repro_fabric_bytes_total", fabric.posted_bytes,
+                      help="payload bytes moved through the fabric",
+                      kind="posted")
+        m.counter_set("repro_fabric_bytes_total", fabric.read_bytes,
+                      kind="nonposted")
+        m.counter_set("repro_fabric_dropped_writes_total",
+                      fabric.dropped_writes,
+                      help="posted writes lost to injected faults")
+        m.counter_set("repro_fabric_read_timeouts_total",
+                      fabric.timed_out_reads,
+                      help="non-posted reads that hit completion timeout")
+
+    def _collect_ntb(self, ntb: t.Any) -> None:
+        m = self.metrics
+        m.counter_set("repro_ntb_translations_total", ntb.translations,
+                      help="address translations through NTB LUT windows",
+                      adapter=ntb.name)
+        m.counter_set("repro_ntb_bytes_total", ntb.bytes_forwarded,
+                      help="payload bytes crossing NTB windows",
+                      adapter=ntb.name)
+        m.gauge_set("repro_ntb_link_up", 1 if ntb.link_up else 0,
+                    help="adapter cable state", adapter=ntb.name)
+        m.counter_set("repro_ntb_link_transitions_total",
+                      ntb.link_transitions,
+                      help="cable down/up transitions", adapter=ntb.name)
+        m.gauge_set("repro_ntb_windows", ntb.window_count(),
+                    help="mapped LUT windows", adapter=ntb.name)
+
+    def _collect_controller(self, ctrl: t.Any) -> None:
+        m = self.metrics
+        name = ctrl.name
+        m.counter_set("repro_nvme_commands_completed_total",
+                      ctrl.commands_completed,
+                      help="commands completed by the controller",
+                      ctrl=name)
+        m.counter_set("repro_nvme_sqe_fetches_total", ctrl.fetches,
+                      help="SQE fetch DMA reads issued", ctrl=name)
+        m.counter_set("repro_nvme_fetch_retries_total",
+                      ctrl.fetch_retries,
+                      help="SQE fetches retried after fabric faults",
+                      ctrl=name)
+        m.counter_set("repro_nvme_bad_doorbells_total",
+                      ctrl.bad_doorbells,
+                      help="doorbell writes to dead or invalid queues",
+                      ctrl=name)
+        m.counter_set("repro_media_accesses_total", ctrl.media.reads,
+                      help="media channel accesses", ctrl=name,
+                      kind="read")
+        m.counter_set("repro_media_accesses_total", ctrl.media.writes,
+                      ctrl=name, kind="write")
+        for qid in sorted(ctrl.sqs):
+            sq = ctrl.sqs[qid]
+            depth = (sq.db_tail - sq.state.head) % sq.state.entries
+            m.gauge_set("repro_nvme_sq_depth",
+                        depth, help="submission-queue backlog "
+                        "(doorbell tail - fetch head)",
+                        ctrl=name, qid=qid)
+        for qid in sorted(ctrl.cqs):
+            cq = ctrl.cqs[qid]
+            depth = (cq.state.tail - cq.db_head) % cq.state.entries
+            m.gauge_set("repro_nvme_cq_depth",
+                        depth, help="completion-queue entries not yet "
+                        "acknowledged by the host", ctrl=name, qid=qid)
+
+    def _collect_device(self, dev: t.Any) -> None:
+        m = self.metrics
+        m.counter_set("repro_io_completed_total", dev.completed,
+                      help="block-layer requests completed",
+                      device=dev.name)
+        m.counter_set("repro_io_errors_total", dev.errors,
+                      help="block-layer requests that failed",
+                      device=dev.name)
+        m.counter_set("repro_io_bytes_total", dev.bytes_moved,
+                      help="payload bytes moved for successful I/O",
+                      device=dev.name)
+        if len(dev.latencies):
+            m.summary_set("repro_io_latency_ns", dev.latencies.summary(),
+                          help="block-layer end-to-end request latency",
+                          device=dev.name)
+        m.gauge_set("repro_io_iops", _iops(dev.completed, self.sim.now),
+                    help="completed requests per simulated second",
+                    device=dev.name)
+
+    def _collect_client(self, client: t.Any) -> None:
+        m = self.metrics
+        name = client.name
+        m.counter_set("repro_client_timeouts_total", client.timeouts,
+                      help="commands that hit the client timeout",
+                      client=name)
+        m.counter_set("repro_client_retries_total", client.retries,
+                      help="commands re-issued with a fresh cid",
+                      client=name)
+        m.counter_set("repro_client_stale_completions_total",
+                      client.stale_completions,
+                      help="late CQEs for already-retired cids",
+                      client=name)
+        m.gauge_set("repro_client_inflight", len(client._inflight),
+                    help="commands awaiting completion", client=name)
+
+    def _collect_manager(self, mgr: t.Any) -> None:
+        m = self.metrics
+        m.counter_set("repro_manager_rpcs_total", mgr.rpcs_served,
+                      help="admin mailbox RPCs served")
+        m.counter_set("repro_manager_leases_reclaimed_total",
+                      mgr.leases_reclaimed,
+                      help="dead clients reclaimed by the lease watchdog")
+        m.gauge_set("repro_manager_queues_in_use", mgr.queues_in_use,
+                    help="I/O queue pairs currently allocated to clients")
+
+    def _collect_faults(self, faults: t.Any) -> None:
+        m = self.metrics
+        for kind in sorted(faults.injected):
+            m.counter_set("repro_faults_injected_total",
+                          faults.injected[kind],
+                          help="fault decisions taken by the registry",
+                          kind=kind)
+
+    # -- export ------------------------------------------------------------
+
+    def perfetto_json(self) -> str:
+        """Span timelines as Chrome/Perfetto trace-event JSON."""
+        return spans_to_perfetto(self.spans.spans)
+
+    def prometheus_text(self, collect: bool = True) -> str:
+        """Metrics snapshot as Prometheus text exposition."""
+        if collect:
+            self.collect()
+        return registry_to_prometheus(self.metrics)

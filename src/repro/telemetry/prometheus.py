@@ -1,0 +1,78 @@
+"""Prometheus text exposition of a metrics-registry snapshot.
+
+Standard text format (``# HELP`` / ``# TYPE`` headers, one
+``name{labels} value`` line per series).  Summaries render as the
+Prometheus *summary* type: ``{quantile="..."}`` lines from the
+:class:`~repro.sim.stats.BoxplotStats` five-number summary plus
+``_min`` / ``_max`` / ``_sum`` / ``_count`` companions.
+
+Output is deterministic: families sorted by name, series by label set,
+label keys alphabetical; values format via :func:`_fmt` so identical
+runs produce byte-identical text.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..sim.stats import BoxplotStats
+from .metrics import COUNTER, GAUGE, SUMMARY, MetricsRegistry
+
+#: BoxplotStats field -> exported quantile label
+_QUANTILES = (("q1", "0.25"), ("median", "0.5"),
+              ("q3", "0.75"), ("p99", "0.99"))
+
+
+def _fmt(value: t.Any) -> str:
+    """Canonical number rendering (ints without a trailing ``.0``)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    f = float(value)
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _labels(pairs: t.Mapping[str, str],
+            extra: t.Sequence[tuple[str, str]] = ()) -> str:
+    items = sorted(pairs.items())
+    items += list(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _summary_lines(name: str, labels: t.Mapping[str, str],
+                   stats: BoxplotStats) -> list[str]:
+    lines = []
+    for field, quantile in _QUANTILES:
+        value = getattr(stats, field) if stats.count else 0
+        lines.append(f"{name}{_labels(labels, (('quantile', quantile),))} "
+                     f"{_fmt(value)}")
+    lines.append(f"{name}_min{_labels(labels)} {_fmt(stats.minimum)}")
+    lines.append(f"{name}_max{_labels(labels)} {_fmt(stats.maximum)}")
+    lines.append(f"{name}_sum{_labels(labels)} "
+                 f"{_fmt(stats.mean * stats.count)}")
+    lines.append(f"{name}_count{_labels(labels)} {_fmt(stats.count)}")
+    return lines
+
+
+def registry_to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry as Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, family in registry.snapshot().items():
+        if family["help"]:
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {family['kind']}")
+        for sample in family["series"]:
+            labels, value = sample["labels"], sample["value"]
+            if family["kind"] == SUMMARY:
+                assert isinstance(value, BoxplotStats)
+                lines.extend(_summary_lines(name, labels, value))
+            else:
+                assert family["kind"] in (COUNTER, GAUGE)
+                lines.append(f"{name}{_labels(labels)} {_fmt(value)}")
+    return "\n".join(lines) + "\n"

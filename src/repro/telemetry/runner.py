@@ -1,0 +1,99 @@
+"""One-call telemetry runs over the repo's canonical scenarios.
+
+Used by the ``repro telemetry`` CLI subcommand and the determinism
+tests: build a scenario with the hub wired in, drive a deterministic
+workload, and hand back the telemetry ready for export.  Everything is
+seeded, so two calls with the same arguments produce byte-identical
+Perfetto JSON and Prometheus text.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from ..faults import FaultPlan
+from ..scenarios import FIG10_SCENARIOS, build_fig10_scenario, chaos_cluster
+from ..workloads import FioJob, fio_generator, run_fio
+from .hub import Telemetry
+
+#: Scenario names accepted by :func:`run_scenario`.
+TELEMETRY_SCENARIOS: tuple[str, ...] = FIG10_SCENARIOS + ("chaos",)
+
+#: Simulated horizon for the chaos scenario (covers the fault plan and
+#: the workload's tail under retries).
+_CHAOS_HORIZON_NS = 200_000_000
+#: Post-horizon settle time so lease reclaims land before the snapshot.
+_CHAOS_SETTLE_NS = 5_000_000
+
+
+@dataclasses.dataclass
+class TelemetryRun:
+    """A finished instrumented run."""
+
+    scenario: str
+    telemetry: Telemetry
+    results: list[t.Any]          # FioResult per workload
+
+    def perfetto_json(self) -> str:
+        return self.telemetry.perfetto_json()
+
+    def prometheus_text(self) -> str:
+        return self.telemetry.prometheus_text()
+
+
+def run_scenario(name: str, ios: int = 200, seed: int = 7,
+                 iodepth: int = 4, bs: int = 4096,
+                 n_clients: int = 3) -> TelemetryRun:
+    """Run one named scenario with telemetry on and return the run.
+
+    ``chaos`` builds an ``n_clients``-host cluster, derives a seeded
+    random fault plan from the run's own RNG registry (an independent
+    stream, so the plan never perturbs the workload's draws), and runs
+    one fio job per client to a fixed horizon.  The four Fig. 10 names
+    run a single fault-free job on the scenario's device.
+    """
+    if name == "chaos":
+        return _run_chaos(ios=ios, seed=seed, iodepth=iodepth, bs=bs,
+                          n_clients=n_clients)
+    if name not in FIG10_SCENARIOS:
+        raise ValueError(f"unknown scenario {name!r}; "
+                         f"pick one of {TELEMETRY_SCENARIOS}")
+    scenario = build_fig10_scenario(name, seed=seed, telemetry=True)
+    tele = scenario.telemetry
+    assert tele is not None
+    job = FioJob(name="telemetry", rw="randread", bs=bs,
+                 iodepth=iodepth, total_ios=ios)
+    result = run_fio(scenario.device, job)
+    tele.collect()
+    return TelemetryRun(scenario=name, telemetry=tele, results=[result])
+
+
+def _run_chaos(ios: int, seed: int, iodepth: int, bs: int,
+               n_clients: int) -> TelemetryRun:
+    sc = chaos_cluster(n_clients=n_clients, seed=seed, telemetry=True)
+    tele = sc.telemetry
+    assert tele is not None
+    # A seeded random plan drawn from this run's own registry; the
+    # "telemetry-chaos" stream is private, so identical seeds replay
+    # identically.  The device host's link is spared so the cluster
+    # always finishes the workload.
+    plan = FaultPlan.random(
+        sc.sim.rng, "telemetry-chaos", horizon_ns=3_000_000,
+        link_points=sc.link_points()[1:],
+        ctrl_points=[sc.ctrl_point],
+        n_events=6, max_outage_ns=400_000, max_drop_probability=0.1)
+    sc.injector.plan = plan
+    sc.injector.start()
+    procs = []
+    for i, client in enumerate(sc.clients):
+        job = FioJob(name=f"j{i}", rw="randrw", bs=bs, iodepth=iodepth,
+                     total_ios=ios, seed_stream=f"fio{i}")
+        procs.append(sc.sim.process(fio_generator(client, job)))
+    sc.sim.run(until=sc.sim.timeout(_CHAOS_HORIZON_NS))
+    if not all(p.triggered for p in procs):
+        raise RuntimeError("chaos workload did not drain by the horizon")
+    sc.sim.run(until=sc.sim.timeout(_CHAOS_SETTLE_NS))
+    tele.collect()
+    return TelemetryRun(scenario="chaos", telemetry=tele,
+                        results=[p.value for p in procs])

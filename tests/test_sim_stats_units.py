@@ -34,9 +34,24 @@ class TestLatencyRecorder:
         with pytest.raises(ValueError):
             rec.record(-1)
 
-    def test_empty_summary_raises(self):
-        with pytest.raises(ValueError):
-            LatencyRecorder().summary()
+    def test_empty_summary_is_zero(self):
+        # An empty recording summarises to an explicit all-zero result
+        # (numpy percentile-of-empty would raise) so exporters and
+        # benchmarks handle idle devices without special cases.
+        stats = LatencyRecorder().summary()
+        assert stats.count == 0
+        assert stats.minimum == 0 and stats.maximum == 0
+        assert stats.mean == 0.0 and stats.p99 == 0.0
+        assert "n=0" in str(stats)
+
+    def test_single_sample_summary(self):
+        rec = LatencyRecorder("one")
+        rec.record(1500)
+        stats = rec.summary()
+        assert stats.count == 1
+        assert stats.minimum == stats.maximum == 1500
+        assert stats.q1 == stats.median == stats.q3 == stats.p99 == 1500.0
+        assert stats.mean == 1500.0 and stats.stddev == 0.0
 
     def test_values_view_is_readonly(self):
         rec = LatencyRecorder()

@@ -223,6 +223,28 @@ def test_units_flags_division_bound_to_ns_name(tmp_path):
     assert len(findings) == 1
 
 
+def test_units_flags_float_into_record_and_observe(tmp_path):
+    findings = run_rule(tmp_path, "units-discipline", """
+        def snapshot(rec, metrics, lat):
+            rec.record(lat / 2)
+            metrics.observe("repro_io_latency_ns", lat * 1.5,
+                            device="d0")
+    """)
+    assert len(findings) == 2
+    assert any("record()" in f.message for f in findings)
+    assert any("observe()" in f.message for f in findings)
+
+
+def test_units_passes_integer_record_and_observe(tmp_path):
+    findings = run_rule(tmp_path, "units-discipline", """
+        def snapshot(rec, metrics, lat):
+            rec.record(round(lat / 2))
+            metrics.observe("repro_io_latency_ns", int(lat),
+                            device="d0")
+    """)
+    assert findings == []
+
+
 def test_units_passes_integer_ns_and_declared_rates(tmp_path):
     findings = run_rule(tmp_path, "units-discipline", """
         from repro.units import us

@@ -1,0 +1,313 @@
+"""Telemetry: spans, metrics registry, exporters, determinism.
+
+Covers the ISSUE 3 acceptance criteria: clean spans decompose the
+end-to-end latency into the seven canonical stages *exactly*; metrics
+and exporters are deterministic (two identical chaos runs serialise
+byte-identically); and enabling telemetry does not perturb simulated
+timing at all.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+
+import pytest
+
+from repro.driver import BlockRequest
+from repro.scenarios import build_fig10_scenario, ours_remote
+from repro.sim import Simulator, Tracer
+from repro.telemetry import (BOUNDARIES, STAGES, IoSpan, MetricsError,
+                             MetricsRegistry, SpanRecorder,
+                             registry_to_prometheus, run_scenario,
+                             spans_to_perfetto)
+from repro.workloads import FioJob, run_fio
+
+
+def make_clean_span(start=1000, step=100):
+    span = IoSpan(0, "dev0", "read", lba=8, nbytes=4096, start_ns=start)
+    ts = start
+    for name in BOUNDARIES:
+        ts += step
+        span.mark(name, ts)
+    span.end_ns = ts + step
+    return span
+
+
+class TestIoSpan:
+    def test_clean_span_stage_sums_exactly(self):
+        span = make_clean_span()
+        assert span.clean
+        stages = span.stage_durations()
+        assert tuple(stages) == STAGES
+        assert sum(stages.values()) == span.duration_ns == 700
+
+    def test_boundaries_include_start_and_end(self):
+        span = make_clean_span()
+        names = [n for n, _t in span.boundaries()]
+        assert names == ["start", *BOUNDARIES, "end"]
+
+    def test_unfinished_span(self):
+        span = IoSpan(0, "d", "read", 0, 4096, start_ns=5)
+        assert not span.finished
+        with pytest.raises(ValueError):
+            span.duration_ns
+        assert [n for n, _t in span.boundaries()] == ["start"]
+
+    def test_duplicate_mark_makes_span_unclean(self):
+        span = make_clean_span()
+        span.mark("fetched", span.end_ns)   # retry stamped a boundary
+        assert span.finished and not span.clean
+        assert span.stage_durations() is None
+
+    def test_as_dict_round_trips_marks(self):
+        span = make_clean_span()
+        d = span.as_dict()
+        assert d["device"] == "dev0" and d["op"] == "read"
+        assert d["marks"] == span.marks and d["marks"] is not span.marks
+
+
+class TestSpanRecorder:
+    def test_begin_finish_and_queries(self):
+        rec = SpanRecorder()
+        a = rec.begin("d", "read", 0, 4096, start_ns=10)
+        b = rec.begin("d", "write", 8, 4096, start_ns=20)
+        rec.finish(a, 50)
+        assert rec.finished() == [a]
+        assert rec.clean_spans() == []      # no boundary marks
+        assert b.index == a.index + 1
+
+    def test_bind_mark_unbind(self):
+        rec = SpanRecorder()
+        span = rec.begin("d", "read", 0, 4096, start_ns=0)
+        rec.bind(qid=3, cid=7, span=span)
+        assert (span.qid, span.cid) == (3, 7)
+        rec.mark_cmd(3, 7, "fetched", 42)
+        assert span.marks == [("fetched", 42)]
+        rec.unbind(3, 7)
+        rec.mark_cmd(3, 7, "media-done", 50)     # silent no-op
+        rec.unbind(3, 7)                         # tolerant double-unbind
+        assert span.marks == [("fetched", 42)]
+
+    def test_mark_cmd_miss_is_silent(self):
+        SpanRecorder().mark_cmd(1, 2, "fetched", 9)
+
+    def test_clear(self):
+        rec = SpanRecorder()
+        span = rec.begin("d", "read", 0, 4096, start_ns=0)
+        rec.bind(1, 1, span)
+        rec.clear()
+        assert rec.spans == []
+        next_span = rec.begin("d", "read", 0, 4096, start_ns=0)
+        assert next_span.index == 0
+
+
+class TestMetricsRegistry:
+    def test_counter_add_and_get(self):
+        m = MetricsRegistry()
+        m.counter_add("c_total", 2, kind="x")
+        m.counter_add("c_total", 3, kind="x")
+        m.counter_add("c_total", 1, kind="y")
+        assert m.get("c_total", kind="x") == 5
+        assert m.get("c_total", kind="y") == 1
+        assert m.get("c_total", kind="z") is None
+        assert m.get("absent") is None
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(MetricsError):
+            MetricsRegistry().counter_add("c_total", -1)
+
+    def test_kind_conflict_rejected(self):
+        m = MetricsRegistry()
+        m.counter_add("x_total")
+        with pytest.raises(MetricsError):
+            m.gauge_set("x_total", 1)
+
+    def test_label_order_is_canonical(self):
+        m = MetricsRegistry()
+        m.counter_add("c_total", 1, a="1", b="2")
+        m.counter_add("c_total", 1, b="2", a="1")
+        assert m.get("c_total", b="2", a="1") == 2
+
+    def test_observe_snapshots_to_boxplot(self):
+        m = MetricsRegistry()
+        for v in (100, 200, 300):
+            m.observe("lat_ns", v, device="d0")
+        snap = m.snapshot()["lat_ns"]
+        assert snap["kind"] == "summary"
+        (series,) = snap["series"]
+        assert series["labels"] == {"device": "d0"}
+        assert series["value"].count == 3
+        assert series["value"].median == 200
+
+    def test_families_sorted(self):
+        m = MetricsRegistry()
+        m.gauge_set("zz", 1)
+        m.gauge_set("aa", 2)
+        assert [f.name for f in m.families()] == ["aa", "zz"]
+
+
+class TestExporters:
+    def test_perfetto_clean_span_structure(self):
+        doc = json.loads(spans_to_perfetto([make_clean_span()]))
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert meta[0]["args"]["name"] == "dev0"
+        slices = [e for e in events if e["ph"] == "X"]
+        outer = [e for e in slices if e["cat"] == "io"]
+        stages = [e for e in slices if e["cat"] == "stage"]
+        assert len(outer) == 1 and len(stages) == len(STAGES)
+        assert [e["name"] for e in stages] == list(STAGES)
+        assert sum(e["dur"] for e in stages) == outer[0]["dur"]
+
+    def test_perfetto_unclean_span_uses_arrow_labels(self):
+        span = make_clean_span()
+        span.mark("fetched", span.end_ns)
+        doc = json.loads(spans_to_perfetto([span]))
+        names = [e["name"] for e in doc["traceEvents"]
+                 if e.get("cat") == "stage"]
+        assert names[0] == "-> sqe-issued"
+        assert names[-1] == "-> end"
+
+    def test_perfetto_skips_unfinished_spans(self):
+        span = IoSpan(0, "d", "read", 0, 4096, start_ns=0)
+        doc = json.loads(spans_to_perfetto([span]))
+        assert doc["traceEvents"] == []
+
+    def test_prometheus_rendering(self):
+        m = MetricsRegistry()
+        m.counter_add("repro_x_total", 3, help="things", kind="posted")
+        m.gauge_set("repro_depth", 2.5)
+        m.observe("repro_lat_ns", 1000, device="d0")
+        m.observe("repro_lat_ns", 3000, device="d0")
+        text = registry_to_prometheus(m)
+        assert "# HELP repro_x_total things\n" in text
+        assert "# TYPE repro_x_total counter\n" in text
+        assert 'repro_x_total{kind="posted"} 3\n' in text
+        assert "repro_depth 2.5\n" in text
+        assert ('repro_lat_ns{device="d0",quantile="0.5"} 2000'
+                in text)
+        assert 'repro_lat_ns_sum{device="d0"} 4000\n' in text
+        assert 'repro_lat_ns_count{device="d0"} 2\n' in text
+
+    def test_prometheus_empty_summary_is_all_zero(self):
+        m = MetricsRegistry()
+        from repro.sim import BoxplotStats
+        m.summary_set("repro_lat_ns", BoxplotStats.from_values([]))
+        text = registry_to_prometheus(m)
+        assert 'repro_lat_ns{quantile="0.99"} 0\n' in text
+        assert "repro_lat_ns_count 0\n" in text
+
+
+class TestInstrumentedScenarios:
+    def test_remote_reads_decompose_exactly(self):
+        scenario = ours_remote(seed=21, telemetry=True)
+        tele = scenario.telemetry
+
+        def flow(sim):
+            for i in range(30):
+                req = yield scenario.device.submit(
+                    BlockRequest("read", lba=i * 8, nblocks=8))
+                assert req.ok
+
+        scenario.sim.run(until=scenario.sim.process(flow(scenario.sim)))
+        spans = tele.spans.clean_spans()
+        assert len(spans) == 30
+        for span in spans:
+            stages = span.stage_durations()
+            assert sum(stages.values()) == span.duration_ns
+            assert all(v >= 0 for v in stages.values())
+            assert span.qid == scenario.device.qid
+
+    def test_telemetry_does_not_perturb_timing(self):
+        # The acceptance criterion: runs with telemetry off must be
+        # bit-identical to the seed behaviour — and since spans ride on
+        # existing events (no queue entries, no RNG draws), runs with
+        # telemetry ON must produce identical latencies too.
+        job = FioJob(name="t", rw="randread", bs=4096, iodepth=4,
+                     total_ios=120)
+        lats = {}
+        for on in (False, True):
+            scenario = build_fig10_scenario("ours-remote", seed=33,
+                                            telemetry=on)
+            result = run_fio(scenario.device, job)
+            lats[on] = (result.read_latencies.values().tolist(),
+                        scenario.sim.now)
+        assert lats[False] == lats[True]
+
+    def test_span_durations_match_recorder_exactly(self):
+        scenario = build_fig10_scenario("ours-remote", seed=8,
+                                        telemetry=True)
+        result = run_fio(scenario.device,
+                         FioJob(name="x", rw="randread", bs=4096,
+                                iodepth=2, total_ios=80))
+        spans = scenario.telemetry.spans.clean_spans()
+        assert len(spans) == 80
+        recorded = collections.Counter(
+            result.read_latencies.values().tolist())
+        assert recorded == collections.Counter(
+            s.duration_ns for s in spans)
+
+    def test_metrics_snapshot_contents(self):
+        scenario = build_fig10_scenario("ours-remote", seed=8,
+                                        telemetry=True)
+        run_fio(scenario.device,
+                FioJob(name="x", rw="randread", bs=4096, iodepth=1,
+                       total_ios=40))
+        m = scenario.telemetry.collect()
+        dev = scenario.device.name
+        assert m.get("repro_io_completed_total", device=dev) == 40
+        assert m.get("repro_fabric_tlps_total", kind="posted") > 0
+        assert m.get("repro_fabric_tlps_total", kind="nonposted") > 0
+        assert m.get("repro_nvme_commands_completed_total",
+                     ctrl=scenario.testbed.nvme.name) >= 40
+        assert m.get("repro_nvme_sq_depth",
+                     ctrl=scenario.testbed.nvme.name,
+                     qid=scenario.device.qid) == 0
+        # The manager served this client's create-qp RPC.
+        rec = m.get("repro_manager_rpc_latency_ns", op="create-qp")
+        assert rec is not None and len(rec) == 1
+        ntb_name = scenario.testbed.ntbs[1].name
+        assert m.get("repro_ntb_link_up", adapter=ntb_name) == 1
+        assert m.get("repro_ntb_bytes_total", adapter=ntb_name) > 0
+
+
+class TestChaosDeterminism:
+    def test_chaos_exports_are_byte_identical(self):
+        runs = [run_scenario("chaos", ios=40, seed=11, n_clients=2)
+                for _ in range(2)]
+        a, b = runs
+        assert a.perfetto_json() == b.perfetto_json()
+        assert a.prometheus_text() == b.prometheus_text()
+        assert [r.ios for r in a.results] == [r.ios for r in b.results]
+        # The chaos run actually exercised the faults path.
+        text = a.prometheus_text()
+        assert "repro_faults_injected_total" in text
+
+
+class TestTracerSatellite:
+    def test_emit_copies_payload(self):
+        sim = Simulator(seed=1)
+        tracer = Tracer(sim)
+        payload = {"qid": 1}
+        tracer.emit("nvme", "fetch", **payload)
+        payload["qid"] = 99
+        assert tracer.records[0].payload == {"qid": 1}
+
+    def test_emit_copies_caller_dict_mutation(self):
+        sim = Simulator(seed=1)
+        tracer = Tracer(sim)
+        state = {"head": 0}
+        tracer.emit("q", "state", **state)
+        state["head"] = 7
+        tracer.emit("q", "state", **state)
+        assert [r.payload["head"] for r in tracer.records] == [0, 7]
+
+    def test_as_tuple_is_stable_and_hashable(self):
+        sim = Simulator(seed=1)
+        tracer = Tracer(sim)
+        tracer.emit("nvme", "fetch", b=2, a=1)
+        rec = tracer.records[0]
+        assert rec.as_tuple() == (0, "nvme", "fetch",
+                                  (("a", 1), ("b", 2)))
+        assert hash(rec.as_tuple())
