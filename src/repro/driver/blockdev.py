@@ -12,7 +12,7 @@ from __future__ import annotations
 import dataclasses
 import typing as t
 
-from ..sim import Event, LatencyRecorder, Resource, Simulator
+from ..sim import Event, LatencyRecorder, Process, Resource, Simulator
 from ..telemetry.hub import NULL_TELEMETRY
 
 
@@ -88,14 +88,14 @@ class BlockDevice:
         free queue tag — matching what fio reports under overload.
         """
         self._validate(request)
-        request.submit_time = self.sim.now
+        request.submit_time = self.sim._now
         tele = self.telemetry
         if tele.enabled:
             request.span = tele.spans.begin(
                 self.name, request.op, request.lba,
                 request.nblocks * self.lba_bytes, request.submit_time)
         done = Event(self.sim)
-        self.sim.process(self._run(request, done))
+        Process(self.sim, self._run(request, done))
         return done
 
     def io(self, request: BlockRequest) -> t.Generator[Event, t.Any, BlockRequest]:
@@ -127,7 +127,7 @@ class BlockDevice:
             yield from self._driver_submit(request)
         finally:
             self._tags.release(tag)
-        request.complete_time = self.sim.now
+        request.complete_time = self.sim._now
         if request.span is not None:
             self.telemetry.spans.finish(request.span, request.complete_time)
         self.latencies.record(request.latency_ns)

@@ -77,8 +77,19 @@ class HostMemory:
     # -- data access ---------------------------------------------------------
 
     def read(self, addr: int, length: int) -> bytes:
-        self._check(addr, length)
+        # hot-path: queue entries and doorbells are small aligned
+        # accesses that never straddle a 4 KiB extent — serve them with
+        # one dict probe and one slice.  Bounds check inlined; _check
+        # re-runs only to build the error message.
         offset = addr - self.base
+        if offset < 0 or offset + length > self.size:
+            self._check(addr, length)
+        index, within = divmod(offset, self.EXTENT)
+        if within + length <= self.EXTENT:
+            extent = self._extents.get(index)
+            if extent is None:
+                return bytes(length)
+            return bytes(extent[within: within + length])
         out = bytearray(length)
         pos = 0
         while pos < length:
@@ -91,11 +102,23 @@ class HostMemory:
         return bytes(out)
 
     def write(self, addr: int, data: bytes | bytearray | memoryview) -> None:
+        # hot-path
         length = len(data)
-        self._check(addr, length)
+        offset = addr - self.base
+        if offset < 0 or offset + length > self.size:
+            self._check(addr, length)
         if not isinstance(data, (bytes, bytearray)):
             data = bytes(data)
-        offset = addr - self.base
+        index, within = divmod(offset, self.EXTENT)
+        if within + length <= self.EXTENT:
+            extent = self._extents.get(index)
+            if extent is None:
+                extent = bytearray(self.EXTENT)
+                self._extents[index] = extent
+            extent[within: within + length] = data
+            if self._watchpoints:
+                self._fire_watchpoints(addr, addr + length)
+            return
         pos = 0
         while pos < length:
             index, within = divmod(offset + pos, self.EXTENT)

@@ -43,7 +43,7 @@ from .registers import (MSIX_ENTRY_SIZE, MSIX_TABLE_OFFSET, MSIX_VECTORS,
 from .structs import CompletionEntry, IdentifyController, SubmissionEntry
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class _ControllerSq:
     state: SubmissionQueueState
     db_tail: int = 0
@@ -51,7 +51,7 @@ class _ControllerSq:
     signal: Signal | None = None
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class _ControllerCq:
     state: CompletionQueueState
     db_head: int = 0
@@ -60,7 +60,7 @@ class _ControllerCq:
     active: bool = True
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class _MsixEntry:
     addr: int = 0
     data: int = 0
@@ -101,6 +101,17 @@ class NvmeController(PCIeFunction):
         self.fetches = 0
         self.fetch_retries = 0
         self.bad_doorbells = 0
+
+    @property
+    def tracer(self):
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        # _trace gates the per-I/O emits on the hot path; keep it in sync
+        # so attaching a tracer after construction still records events.
+        self._tracer = value
+        self._trace = value is not NULL_TRACER
 
     # ------------------------------------------------------------------ MMIO
 
@@ -207,7 +218,9 @@ class NvmeController(PCIeFunction):
             sq.db_tail = value
             assert sq.signal is not None
             sq.signal.fire()
-        self.tracer.emit("nvme", "doorbell", qid=qid, cq=is_cq, value=value)
+        if self._trace:
+            self.tracer.emit("nvme", "doorbell", qid=qid, cq=is_cq,
+                             value=value)
 
     # ------------------------------------------------------------ MSI-X table
 
@@ -240,42 +253,49 @@ class NvmeController(PCIeFunction):
 
     def _sq_worker(self, sq: _ControllerSq) -> t.Generator:
         """Fetch-and-dispatch loop for one submission queue."""
+        # hot-path
         cfg = self.config
+        sim = self.sim
+        state = sq.state
+        unpack = SubmissionEntry.unpack
+        decode_ns = cfg.command_decode_ns
+        is_admin = state.qid == 0
         assert sq.signal is not None
         while sq.active:
             if self.faults is not None:
                 yield from self.faults.stall_barrier(self.fault_point)
                 if not sq.active:
                     return
-            if sq.state.head == sq.db_tail:
+            if state.head == sq.db_tail:
                 yield sq.signal.wait()
                 if not sq.active:
                     return
                 # Doorbell processing / arbitration cost, paid per wakeup.
-                yield self.sim.timeout(cfg.doorbell_to_fetch_ns)
+                yield sim.sleep(cfg.doorbell_to_fetch_ns)
                 continue
-            slot = sq.state.head
+            slot = state.head
             try:
-                raw = yield from self.dma_read(sq.state.slot_addr(slot),
+                raw = yield from self.dma_read(state.slot_addr(slot),
                                                SQE_SIZE)
             except FabricFaultError:
                 # Fetch lost in the fabric: head is not advanced, so the
                 # controller re-fetches the same slot after a pause —
                 # hardware keeps retrying until reset.
                 self.fetch_retries += 1
-                yield self.sim.timeout(cfg.doorbell_to_fetch_ns)
+                yield sim.sleep(cfg.doorbell_to_fetch_ns)
                 continue
-            sq.state.head = (sq.state.head + 1) % sq.state.entries
+            state.head = (state.head + 1) % state.entries
             self.fetches += 1
-            sqe = SubmissionEntry.unpack(raw)
-            yield self.sim.timeout(cfg.command_decode_ns)
+            sqe = unpack(raw)
+            yield sim.sleep(decode_ns)
             self._span_mark(sq, sqe, "fetched")
-            self.tracer.emit("nvme", "fetched", qid=sq.state.qid,
-                             opcode=sqe.opcode, cid=sqe.cid)
-            if sq.state.qid == 0:
-                self.sim.process(self._execute_admin(sq, sqe))
+            if self._trace:
+                self.tracer.emit("nvme", "fetched", qid=state.qid,
+                                 opcode=sqe.opcode, cid=sqe.cid)
+            if is_admin:
+                sim.process(self._execute_admin(sq, sqe))
             else:
-                self.sim.process(self._execute_io(sq, sqe))
+                sim.process(self._execute_io(sq, sqe))
 
     # --------------------------------------------------------------- admin
 
@@ -520,10 +540,11 @@ class NvmeController(PCIeFunction):
 
     def _complete(self, sq: _ControllerSq, sqe: SubmissionEntry,
                   status: int, result: int):
+        # hot-path
         cq = self.cqs.get(sq.state.cqid)
         if cq is None or not cq.active:
             return  # queue torn down under us; drop, as hardware would
-        yield self.sim.timeout(self.config.completion_overhead_ns)
+        yield self.sim.sleep(self.config.completion_overhead_ns)
         slot, phase = cq.state.produce_slot()
         cqe = CompletionEntry(result=result, sq_head=sq.state.head,
                               sq_id=sq.state.qid, cid=sqe.cid,
@@ -531,12 +552,13 @@ class NvmeController(PCIeFunction):
         # CQE write is posted; we wait for delivery only to order the
         # interrupt behind it (hardware achieves the same via PCIe
         # ordering rules; the fabric clamp plus this wait are equivalent).
-        yield from self.fabric_write_wait(cq.state.slot_addr(slot),
-                                          cqe.pack())
+        yield from self.fabric.write(self.node, self.host,
+                                     cq.state.slot_addr(slot), cqe.pack())
         self._span_mark(sq, sqe, "cqe-delivered")
         self.commands_completed += 1
-        self.tracer.emit("nvme", "completed", qid=sq.state.qid,
-                         cid=sqe.cid, status=int(status))
+        if self._trace:
+            self.tracer.emit("nvme", "completed", qid=sq.state.qid,
+                             cid=sqe.cid, status=int(status))
         if cq.interrupts_enabled and not self.regs.intms & (1 << cq.vector):
             entry = self.msix[cq.vector]
             if not entry.masked and entry.addr:

@@ -49,7 +49,7 @@ class Media:
         req = self.channels.request()
         yield req
         try:
-            yield self.sim.timeout(self._draw(kind, nbytes))
+            yield self.sim.sleep(self._draw(kind, nbytes))
         finally:
             self.channels.release(req)
         if kind == "read":

@@ -21,7 +21,7 @@ class QueueError(Exception):
     pass
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class SubmissionQueueState:
     """Driver- or controller-side view of one SQ ring."""
 
@@ -70,7 +70,7 @@ class SubmissionQueueState:
         return slot
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class CompletionQueueState:
     """Driver- or controller-side view of one CQ ring.
 

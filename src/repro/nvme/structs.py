@@ -17,7 +17,7 @@ _SQE_PACK = struct.Struct("<I I Q Q Q Q I I I I I I")
 assert _SQE_PACK.size == SQE_SIZE
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class SubmissionEntry:
     """One 64-byte submission queue entry."""
 
@@ -83,7 +83,7 @@ _CQE_PACK = struct.Struct("<I I H H H H")
 assert _CQE_PACK.size == CQE_SIZE
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class CompletionEntry:
     """One 16-byte completion queue entry."""
 

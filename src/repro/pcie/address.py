@@ -18,7 +18,7 @@ class AddressError(Exception):
     """Address not mapped, or access straddles a mapping boundary."""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Mapping:
     """One entry in an address map: ``[base, base+size)`` -> ``target``."""
 
@@ -42,6 +42,8 @@ class AddressMap:
         self.name = name
         self._bases: list[int] = []
         self._mappings: list[Mapping] = []
+        #: bumped on every add/remove; route caches validate against it
+        self.version = 0
 
     def add(self, base: int, size: int, target: t.Any,
             label: str = "") -> Mapping:
@@ -60,6 +62,7 @@ class AddressMap:
                 f"{self._mappings[i]}")
         self._bases.insert(i, base)
         self._mappings.insert(i, mapping)
+        self.version += 1
         return mapping
 
     def remove(self, mapping: Mapping) -> None:
@@ -68,6 +71,7 @@ class AddressMap:
             raise AddressError(f"{self.name}: mapping not present: {mapping}")
         del self._bases[i]
         del self._mappings[i]
+        self.version += 1
 
     def lookup(self, addr: int, length: int = 1) -> Mapping:
         """Find the mapping covering ``[addr, addr+length)``.

@@ -18,11 +18,28 @@ initiator waits a full round trip plus target service.  PCIe ordering of
 posted writes on the same initiator->destination flow is enforced with a
 monotonic-arrival clamp, so an SQE write always lands before the doorbell
 write that follows it.
+
+**Route cache.**  Queue slots, doorbells and bounce-buffer partitions are
+hit with the same ``(host, addr, length)`` triples millions of times per
+run, and each uncached hit re-walks the address map and re-allocates a
+:class:`Resolution`.  ``resolve()`` therefore memoizes successful walks.
+Correctness contract (see docs/performance.md):
+
+* entries are validated on every hit against the ``version`` of each
+  :class:`~repro.pcie.address.AddressMap` consulted and the
+  ``lut_version`` of each NTB traversed — remaps rebuild the entry;
+* ``link_up`` is checked *live* per crossing in traversal order, and the
+  per-NTB ``translations``/``bytes_forwarded`` counters are replayed in
+  that same order, so a hit is byte-identical to the uncached walk even
+  mid-fault (fault-registry link events flip ``link_up`` directly);
+* ``REPRO_NO_ROUTE_CACHE=1`` disables the cache entirely (escape hatch,
+  read at Fabric construction).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
 import typing as t
 
 from ..config import PcieConfig
@@ -51,7 +68,7 @@ class FabricFaultError(Exception):
         self.addr = addr
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Resolution:
     """Outcome of walking an address through NTB windows to its target."""
 
@@ -63,6 +80,20 @@ class Resolution:
     addr: int = 0                # final physical address (mem) …
     bar: Bar | None = None
     offset: int = 0              # … or offset within the BAR (mmio)
+
+
+class _RouteEntry:
+    """One cached resolve() outcome with its invalidation guards."""
+
+    __slots__ = ("res", "map_guards", "ntb_guards")
+
+    def __init__(self, res: Resolution,
+                 map_guards: tuple, ntb_guards: tuple) -> None:
+        self.res = res
+        #: ((AddressMap, version-at-build), ...) in walk order
+        self.map_guards = map_guards
+        #: ((NtbFunction, lut_version-at-build), ...) in walk order
+        self.ntb_guards = ntb_guards
 
 
 class Fabric:
@@ -87,20 +118,72 @@ class Fabric:
         self.read_bytes = 0
         self.dropped_writes = 0
         self.timed_out_reads = 0
+        # (host, addr, length) -> _RouteEntry; None when disabled.
+        self._route_cache: dict[tuple, _RouteEntry] | None = (
+            None if os.environ.get("REPRO_NO_ROUTE_CACHE") == "1" else {})
+        # (path, wire_bytes) -> (resources, holds, max_hold) | ()
+        self._occupy_plans: dict[tuple, tuple] = {}
+        # payload-length -> bytes_on_wire, per TLP category (pure
+        # functions of the frozen config, so plain int memoization).
+        self._write_wire: dict[int, int] = {}
+        self._read_req_wire: dict[int, int] = {}
+        self._cpl_wire: dict[int, int] = {}
+
+    @property
+    def tracer(self):
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        # _trace gates the per-TLP emits on the hot path; keep it in sync
+        # so attaching a tracer after construction still records events.
+        self._tracer = value
+        self._trace = value is not NULL_TRACER
 
     # -- address resolution ----------------------------------------------------
 
     def resolve(self, host: Host, addr: int, length: int) -> Resolution:
         """Walk ``addr`` in ``host``'s space through NTB windows until it
-        lands on DRAM or a device BAR."""
+        lands on DRAM or a device BAR (memoized; see module docstring)."""
+        # hot-path
+        cache = self._route_cache
+        if cache is not None:
+            entry = cache.get((host, addr, length))
+            if entry is not None:
+                for amap, version in entry.map_guards:
+                    if amap.version != version:
+                        break
+                else:
+                    for fn, lut_version in entry.ntb_guards:
+                        if fn.lut_version != lut_version:
+                            break
+                    else:
+                        # Guards valid: replay the walk's observable side
+                        # effects exactly — per crossing in order, check
+                        # the live link first (NtbFunction.translate
+                        # raises *before* bumping its own counters).
+                        for fn, _v in entry.ntb_guards:
+                            if not fn.link_up:
+                                raise NtbLinkDown(fn.name)
+                            fn.translations += 1
+                            fn.bytes_forwarded += length
+                        return entry.res
+        orig_key = (host, addr, length)
         crossings = 0
+        map_guards: list[tuple] = []
+        ntb_guards: list[tuple] = []
         while True:
-            mapping = host.addr_map.lookup(addr, length)
+            amap = host.addr_map
+            map_guards.append((amap, amap.version))
+            mapping = amap.lookup(addr, length)
             target = mapping.target
             if isinstance(target, HostMemory):
-                return Resolution(kind="mem", host=host, node=host.rc,
-                                  crossings=crossings, memory=target,
-                                  addr=addr)
+                # One construction per cache miss; every hit returns it.
+                # staticcheck: ignore[hotpath-alloc] miss path, built once per key
+                res = Resolution(kind="mem", host=host, node=host.rc,
+                                 crossings=crossings, memory=target,
+                                 addr=addr)
+                break
             if isinstance(target, Bar):
                 fn = target.function
                 if isinstance(fn, NtbFunction):
@@ -108,15 +191,22 @@ class Fabric:
                         raise AddressError(
                             f"NTB window chain longer than "
                             f"{MAX_NTB_CROSSINGS} at {addr:#x}")
+                    ntb_guards.append((fn, fn.lut_version))
                     host, addr = fn.translate(target, addr, length)
                     crossings += 1
                     continue
                 assert fn.node is not None and fn.host is not None
-                return Resolution(kind="mmio", host=fn.host, node=fn.node,
-                                  crossings=crossings, bar=target,
-                                  offset=target.offset_of(addr))
+                # staticcheck: ignore[hotpath-alloc] miss path, built once per key
+                res = Resolution(kind="mmio", host=fn.host, node=fn.node,
+                                 crossings=crossings, bar=target,
+                                 offset=target.offset_of(addr))
+                break
             raise AddressError(
                 f"unroutable target {target!r} at {addr:#x}")
+        if cache is not None:
+            cache[orig_key] = _RouteEntry(res, tuple(map_guards),
+                                          tuple(ntb_guards))
+        return res
 
     # -- link occupancy -----------------------------------------------------------
 
@@ -131,25 +221,41 @@ class Fabric:
         The caller's latency charge is the slowest stage (the pipe's
         fill time).
         """
+        # hot-path
+        plan = self._occupy_plans.get((path, wire_bytes))
+        if plan is None:
+            plan = self._build_occupy_plan(path, wire_bytes)
+            self._occupy_plans[(path, wire_bytes)] = plan
+        if not plan:
+            return
+        resources, holds, max_hold = plan
+        sim = self.sim
+        sleep = sim.sleep
+        acquired = []
+        append = acquired.append
+        for resource in resources:
+            req = resource.request()
+            append(req)
+            yield req
+        for req, resource, hold in zip(acquired, resources, holds):
+            sleep(hold).callbacks.append(
+                lambda _ev, r=resource, q=req: r.release(q))
+        yield sleep(max_hold)
+
+    def _build_occupy_plan(self, path: tuple[Node, ...],
+                           wire_bytes: int) -> tuple:
+        """Precompute the occupancy of a (path, size) pair: the link
+        resources in canonical acquisition order with their per-link
+        hold times.  Pure function of the (static) topology."""
         trips = self.cluster.links_on(path)
         if not trips or wire_bytes <= 0:
-            return
+            return ()
         pairs = [(link.resource(a, b), link) for link, a, b in trips]
         pairs.sort(key=lambda p: p[0].order)
-        acquired = []
-        for resource, _link in pairs:
-            req = resource.request()
-            acquired.append((resource, req))
-            yield req
-        max_hold = 0
-        for (resource, req), (_res, link) in zip(acquired, pairs):
-            hold = serialize_ns(wire_bytes, link.bandwidth)
-            max_hold = max(max_hold, hold)
-            release_at = self.sim.timeout(hold)
-            assert release_at.callbacks is not None
-            release_at.callbacks.append(
-                lambda _ev, r=resource, q=req: r.release(q))
-        yield self.sim.timeout(max_hold)
+        resources = tuple(resource for resource, _link in pairs)
+        holds = tuple(serialize_ns(wire_bytes, link.bandwidth)
+                      for _resource, link in pairs)
+        return (resources, holds, max(holds))
 
     # -- transactions ------------------------------------------------------------
 
@@ -162,53 +268,64 @@ class Fabric:
         that is the hardware-accurate behaviour for CPU stores and
         device DMA writes.
         """
-        data = bytes(data)
+        # hot-path
+        if type(data) is not bytes:
+            data = bytes(data)
+        length = len(data)
         try:
-            res = self.resolve(host, addr, len(data))
+            res = self.resolve(host, addr, length)
         except NtbLinkDown as down:
             # Posted semantics: the write vanishes silently at the
             # severed adapter; the initiator never learns.
-            self._drop_write(down.point, addr, len(data))
+            self._drop_write(down.point, addr, length)
             return
-        point = None
-        if self.faults is not None:
-            point = (self.faults.link_blocked(host.name, res.host.name)
-                     or self.faults.tlp_dropped(self.sim.rng, host.name,
-                                                res.host.name))
-        if point is not None:
-            self._drop_write(point, addr, len(data))
-            return
+        sim = self.sim
+        cfg = self.config
+        faults = self.faults
+        if faults is not None:
+            point = (faults.link_blocked(host.name, res.host.name)
+                     or faults.tlp_dropped(sim.rng, host.name,
+                                           res.host.name))
+            if point is not None:
+                self._drop_write(point, addr, length)
+                return
         path = self.cluster.path(initiator, res.node)
         self.posted_writes += 1
-        self.posted_bytes += len(data)
+        self.posted_bytes += length
 
-        yield from self._occupy(path, write_cost(len(data), self.config).bytes_on_wire)
+        wire = self._write_wire.get(length)
+        if wire is None:
+            wire = write_cost(length, cfg).bytes_on_wire
+            self._write_wire[length] = wire
+        yield from self._occupy(path, wire)
         latency = self.cluster.hop_latency(path)
-        latency += res.crossings * self.config.ntb_translation_ns
-        if self.faults is not None:
-            latency += self.faults.tlp_delay_ns(host.name, res.host.name)
+        if res.crossings:
+            latency += res.crossings * cfg.ntb_translation_ns
+        if faults is not None:
+            latency += faults.tlp_delay_ns(host.name, res.host.name)
         if res.kind == "mem":
-            latency += self.config.memory_write_latency_ns
+            latency += cfg.memory_write_latency_ns
         else:
-            latency += self.config.device_mmio_write_ns
+            latency += cfg.device_mmio_write_ns
 
-        arrival = self.sim.now + latency
+        now = sim._now
+        arrival = now + latency
         key = (initiator, res.host)
         prior = self._posted_clamp.get(key, 0)
         if arrival < prior:
             arrival = prior  # posted ordering: never pass an earlier write
         self._posted_clamp[key] = arrival
-        yield self.sim.timeout(arrival - self.sim.now)
+        yield sim.sleep(arrival - now)
 
         if res.kind == "mem":
-            assert res.memory is not None
             res.memory.write(res.addr, data)
         else:
-            assert res.bar is not None
             res.bar.function.mmio_write(res.bar, res.offset, data)
-        self.tracer.emit("pcie", "write-delivered", addr=addr,
-                         final=res.addr if res.kind == "mem" else res.offset,
-                         size=len(data), crossings=res.crossings)
+        if self._trace:
+            self.tracer.emit("pcie", "write-delivered", addr=addr,
+                             final=res.addr if res.kind == "mem"
+                             else res.offset,
+                             size=length, crossings=res.crossings)
 
     def _drop_write(self, point: str, addr: int, size: int) -> None:
         self.dropped_writes += 1
@@ -218,7 +335,9 @@ class Fabric:
     def post_write(self, initiator: Node, host: Host, addr: int,
                    data: bytes | bytearray | memoryview) -> Process:
         """Fire-and-forget posted write (returns the delivery process)."""
-        return self.sim.process(self.write(initiator, host, addr, data))
+        # hot-path: spawn the Process directly, skipping the
+        # Simulator.process wrapper frame (one spawn per posted TLP).
+        return Process(self.sim, self.write(initiator, host, addr, data))
 
     def read(self, initiator: Node, host: Host, addr: int, length: int):
         """Non-posted memory read (generator; returns the data bytes).
@@ -228,40 +347,45 @@ class Fabric:
         between a device and the memory it reads from, the higher the
         request-completion latency becomes" (paper Sec. V).
         """
+        # hot-path
         if length <= 0:
             raise ValueError("read length must be positive")
         try:
             res = self.resolve(host, addr, length)
         except NtbLinkDown as down:
             yield from self._read_timeout(down.point, addr)
-        point = None
-        if self.faults is not None:
-            point = (self.faults.link_blocked(host.name, res.host.name)
-                     or self.faults.tlp_dropped(self.sim.rng, host.name,
-                                                res.host.name))
-        if point is not None:
-            yield from self._read_timeout(point, addr)
+        sim = self.sim
+        cfg = self.config
+        faults = self.faults
+        if faults is not None:
+            point = (faults.link_blocked(host.name, res.host.name)
+                     or faults.tlp_dropped(sim.rng, host.name,
+                                           res.host.name))
+            if point is not None:
+                yield from self._read_timeout(point, addr)
         path = self.cluster.path(initiator, res.node)
         self.reads += 1
         self.read_bytes += length
 
         # Request leg (headers only).
-        yield from self._occupy(
-            path, read_request_cost(length, self.config).bytes_on_wire)
+        wire = self._read_req_wire.get(length)
+        if wire is None:
+            wire = read_request_cost(length, cfg).bytes_on_wire
+            self._read_req_wire[length] = wire
+        yield from self._occupy(path, wire)
         req_latency = self.cluster.hop_latency(path)
-        req_latency += res.crossings * self.config.ntb_translation_ns
-        if self.faults is not None:
-            req_latency += self.faults.tlp_delay_ns(host.name, res.host.name)
-        yield self.sim.timeout(req_latency)
+        if res.crossings:
+            req_latency += res.crossings * cfg.ntb_translation_ns
+        if faults is not None:
+            req_latency += faults.tlp_delay_ns(host.name, res.host.name)
+        yield sim.sleep(req_latency)
 
         # Target service + data fetch.
         if res.kind == "mem":
-            assert res.memory is not None
-            yield self.sim.timeout(self.config.memory_read_latency_ns)
+            yield sim.sleep(cfg.memory_read_latency_ns)
             data = res.memory.read(res.addr, length)
         else:
-            assert res.bar is not None
-            yield self.sim.timeout(self.config.device_mmio_read_ns)
+            yield sim.sleep(cfg.device_mmio_read_ns)
             data = res.bar.function.mmio_read(res.bar, res.offset, length)
             if len(data) != length:
                 raise AddressError(
@@ -270,12 +394,16 @@ class Fabric:
 
         # Completion leg (data flows back).
         rpath = tuple(reversed(path))
-        yield from self._occupy(
-            rpath, completion_cost(length, self.config).bytes_on_wire)
+        wire = self._cpl_wire.get(length)
+        if wire is None:
+            wire = completion_cost(length, cfg).bytes_on_wire
+            self._cpl_wire[length] = wire
+        yield from self._occupy(rpath, wire)
         cpl_latency = self.cluster.hop_latency(rpath)
-        yield self.sim.timeout(cpl_latency)
-        self.tracer.emit("pcie", "read-complete", addr=addr, size=length,
-                         crossings=res.crossings)
+        yield sim.sleep(cpl_latency)
+        if self._trace:
+            self.tracer.emit("pcie", "read-complete", addr=addr,
+                             size=length, crossings=res.crossings)
         return data
 
     def _read_timeout(self, point: str, addr: int) -> t.Generator:

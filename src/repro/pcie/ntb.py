@@ -36,7 +36,7 @@ class NtbLinkDown(NtbError):
         self.point = point
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class NtbWindow:
     """One LUT entry: BAR offset range -> (remote host, remote base)."""
 
@@ -65,6 +65,8 @@ class NtbFunction(PCIeFunction):
         #: cable state; toggled by fault injection (``link:<host>``)
         self.link_up = True
         self.link_transitions = 0
+        #: bumped on every map/unmap; route caches validate against it
+        self.lut_version = 0
         #: accounting: successful LUT translations and bytes forwarded
         self.translations = 0
         self.bytes_forwarded = 0
@@ -86,6 +88,7 @@ class NtbFunction(PCIeFunction):
         offset = self._lut_alloc.alloc(size, alignment=0x1000)
         self._windows[offset] = NtbWindow(offset, size, remote_host,
                                           remote_base, label)
+        self.lut_version += 1
         bar = self.bars[self.BAR_INDEX]
         assert bar.base is not None
         return bar.base + offset
@@ -98,6 +101,7 @@ class NtbFunction(PCIeFunction):
             raise NtbError(f"{self.name}: no window at {local_addr:#x}")
         del self._windows[offset]
         self._lut_alloc.free(offset)
+        self.lut_version += 1
 
     def window_count(self) -> int:
         return len(self._windows)

@@ -28,7 +28,7 @@ class TlpKind(enum.Enum):
     COMPLETION = "CplD"     # completion with data
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class WireCost:
     """Bytes on the wire and packet count for one transaction leg."""
 

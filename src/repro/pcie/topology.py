@@ -32,6 +32,31 @@ class TopologyError(Exception):
     pass
 
 
+class _BufferedDraw:
+    """Batched uniform draws from one switch-chip stream.
+
+    ``gen.integers(lo, hi, size=N)`` consumes the underlying bit stream
+    element-wise, so serving from a prefetched batch yields *bit-identical*
+    values, in the same order, as the scalar calls it replaces — at ~1/40th
+    the per-draw cost.  One instance per stream is shared by every hop
+    plan referencing that chip, so the globally served sequence matches
+    what per-call scalar draws in ``hop_latency`` order would produce.
+    The batch is converted to Python ints up front: latencies must stay
+    plain ``int`` (numpy scalars would leak into heap keys and exports).
+    """
+
+    __slots__ = ("gen", "lo", "hi", "buf", "pos")
+
+    BATCH = 256
+
+    def __init__(self, gen, lo: int, hi: int) -> None:
+        self.gen = gen
+        self.lo = lo
+        self.hi = hi              # exclusive, mirroring uniform_ns
+        self.buf: list[int] = []
+        self.pos = 0
+
+
 class Node:
     """A PCIe agent in the cluster graph."""
 
@@ -130,6 +155,20 @@ class Cluster:
         self.nodes: dict[str, Node] = {}
         self.links: list[Link] = []
         self._paths: dict[tuple[Node, Node], tuple[Node, ...]] = {}
+        # Per-path latency plans: (fixed_ns, (_BufferedDraw, ...)).  Plans
+        # cache which streams to draw from, never *which value comes next*
+        # — each draw still advances its stream exactly once per traversed
+        # chip, in hop_latency call order, so RNG consumption is identical
+        # with and without the cache.
+        self._hop_plans: dict[tuple[Node, ...], tuple] = {}
+        self._links_plans: dict[tuple[Node, ...],
+                                tuple[tuple[Link, Node, Node], ...]] = {}
+        # Per-switch-stream batched draws, shared across all hop plans so
+        # the globally served sequence per stream is exactly what scalar
+        # ``integers`` calls in hop_latency order would have produced.
+        # Survives ``connect()`` — clearing it would skip prefetched
+        # values and diverge from the scalar draw order.
+        self._draw_buffers: dict[str, "_BufferedDraw"] = {}
 
     # -- construction -----------------------------------------------------
 
@@ -161,6 +200,8 @@ class Cluster:
         b.neighbors[a] = link
         self.links.append(link)
         self._paths.clear()
+        self._hop_plans.clear()
+        self._links_plans.clear()
         return link
 
     def _register(self, node: Node) -> None:
@@ -207,25 +248,59 @@ class Cluster:
         nodes at the extremes contribute nothing here (their service
         costs are accounted by the target handler).
         """
+        # hot-path
+        plan = self._hop_plans.get(path)
+        if plan is None:
+            plan = self._build_hop_plan(path)
+            self._hop_plans[path] = plan
+        total, draws = plan
+        for d in draws:
+            pos = d.pos
+            if pos == len(d.buf):
+                d.buf = d.gen.integers(d.lo, d.hi, size=d.BATCH).tolist()
+                pos = 0
+            total += d.buf[pos]
+            d.pos = pos + 1
+        return total
+
+    def _build_hop_plan(self, path: tuple[Node, ...]) -> tuple:
+        """Split a path's latency into its fixed part and the RNG draws
+        it performs, mirroring :meth:`RngRegistry.uniform_ns` exactly
+        (a degenerate lo==hi band folds into the fixed part with no
+        draw, just as ``uniform_ns`` short-circuits without one)."""
         cfg = self.config
-        total = 0
+        lo, hi = cfg.switch_latency_min_ns, cfg.switch_latency_max_ns
+        if hi < lo:
+            raise ValueError("high < low")
         rng = self.sim.rng
+        fixed = 0
+        draws = []
+        buffers = self._draw_buffers
         for node in path[1:-1]:
             if node.kind == "switch":
-                total += rng.uniform_ns(f"chip:{node.name}",
-                                        cfg.switch_latency_min_ns,
-                                        cfg.switch_latency_max_ns)
+                if hi == lo:
+                    fixed += lo
+                else:
+                    stream = f"chip:{node.name}"
+                    buf = buffers.get(stream)
+                    if buf is None:
+                        buf = _BufferedDraw(rng.stream(stream), lo, hi + 1)
+                        buffers[stream] = buf
+                    draws.append(buf)
             elif node.kind == "rc":
-                total += cfg.root_complex_latency_ns
+                fixed += cfg.root_complex_latency_ns
         # An RC at either extreme still forwards the transaction between
         # its CPU/DRAM side and the fabric.
         for node in (path[0], path[-1]):
             if node.kind == "rc" and len(path) > 1:
-                total += cfg.root_complex_latency_ns
-        return total
+                fixed += cfg.root_complex_latency_ns
+        return (fixed, tuple(draws))
 
-    def links_on(self, path: tuple[Node, ...]) -> list[tuple[Link, Node, Node]]:
-        out = []
-        for a, b in zip(path, path[1:]):
-            out.append((a.neighbors[b], a, b))
+    def links_on(self, path: tuple[Node, ...]) -> tuple[tuple[Link, Node, Node], ...]:
+        # hot-path
+        cached = self._links_plans.get(path)
+        if cached is not None:
+            return cached
+        out = tuple((a.neighbors[b], a, b) for a, b in zip(path, path[1:]))
+        self._links_plans[path] = out
         return out

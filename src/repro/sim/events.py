@@ -7,16 +7,47 @@ callbacks invoked when the simulator processes it.  Processes
 
 Events deliberately carry *no* timing information themselves — scheduling
 is owned by :class:`repro.sim.core.Simulator`.
+
+The constructors and :meth:`Event._process` are the innermost loops of
+the whole simulator (every timeout, resource grant and process switch
+passes through them), so they trade a little repetition for speed:
+``Timeout.__init__`` initialises fields inline instead of chaining to
+``Event.__init__``, and the hot methods test ``_value is _PENDING``
+directly instead of going through the ``triggered`` property.
 """
 
 from __future__ import annotations
 
 import typing as t
+from heapq import heappush
 
 if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .core import Simulator
 
 _PENDING = object()
+
+#: Priority for ordinary events.  (Lives here rather than in ``core`` so
+#: the process machinery can import it without a circular import.)
+NORMAL = 1
+#: Priority for "urgent" bookkeeping events processed before normal ones
+#: scheduled at the same instant (used by the process machinery).
+URGENT = 0
+
+
+def _as_int_delay(delay: t.Any) -> int:
+    """Validate a delay: integer nanoseconds only (units discipline).
+
+    Fractional delays used to be truncated silently via ``int(delay)``,
+    which hid unit bugs (a ``1.5`` meant as microseconds became 1 ns);
+    now they are rejected outright.  Integral floats and numpy integers
+    are converted losslessly.
+    """
+    d = int(delay)
+    if d != delay:
+        raise ValueError(
+            f"non-integral delay {delay!r}: simulated time is integer "
+            f"nanoseconds (see repro.units)")
+    return d
 
 
 class Event:
@@ -65,11 +96,17 @@ class Event:
     def succeed(self, value: t.Any = None, delay: int = 0) -> "Event":
         """Trigger the event successfully, scheduling callbacks after
         ``delay`` nanoseconds."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(self, delay)
+        sim = self.sim
+        if delay:
+            sim._schedule(self, delay)
+        else:
+            # Zero-delay is the overwhelmingly common case (grants,
+            # store hand-offs, signal fires); push directly.
+            heappush(sim._queue, (sim._now, NORMAL, next(sim._sequence), self))
         return self
 
     def fail(self, exception: BaseException, delay: int = 0) -> "Event":
@@ -81,11 +118,15 @@ class Event:
         """
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
-        self.sim._schedule(self, delay)
+        sim = self.sim
+        if delay:
+            sim._schedule(self, delay)
+        else:
+            heappush(sim._queue, (sim._now, NORMAL, next(sim._sequence), self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -114,7 +155,7 @@ class Event:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "processed" if self._processed else (
-            "triggered" if self.triggered else "pending")
+            "triggered" if self._value is not _PENDING else "pending")
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
     # -- composition --------------------------------------------------------
@@ -127,18 +168,57 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` nanoseconds after creation."""
+    """An event that fires ``delay`` nanoseconds after creation.
+
+    ``delay`` must be integral (integer nanoseconds); fractional delays
+    raise :class:`ValueError` instead of being truncated.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: int, value: t.Any = None) -> None:
+        # hot-path: inline field init; Event.__init__ is deliberately
+        # not chained (one call frame per CQ poll tick adds up).
+        if type(delay) is not int:
+            delay = _as_int_delay(delay)
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self.delay = int(delay)
-        self._ok = True
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._schedule(self, self.delay)
+        self._ok = True
+        self._processed = False
+        self._defused = False
+        self.delay = delay
+        sim._push(self, delay)
+
+
+class PooledTimeout(Timeout):
+    """A :class:`Timeout` recycled through the simulator's free list.
+
+    Created via :meth:`Simulator.sleep`.  The object returns itself to
+    the pool the moment its callbacks have run, so callers must follow
+    the ``yield sim.sleep(ns)`` discipline: never retain a reference,
+    never inspect it after resuming, and never hand it to
+    ``any_of``/``all_of`` (composites keep references past processing).
+    Poll ticks and per-hop latency waits burn one of these every few
+    simulated nanoseconds, which without pooling makes the allocator the
+    single hottest call site in fig10-scale runs.
+    """
+
+    __slots__ = ()
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+        # Sleeps never fail, so the unwaited-failure re-raise is not
+        # needed; recycle immediately (callbacks have all run).
+        pool = self.sim._timeout_pool
+        if len(pool) < 512:
+            pool.append(self)
 
 
 class Condition(Event):

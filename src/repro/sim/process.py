@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import typing as t
 
-from .events import Event
+from heapq import heappush
+
+from .events import URGENT, Event, _PENDING
 
 if t.TYPE_CHECKING:  # pragma: no cover
     from .core import Simulator
@@ -34,19 +36,27 @@ class Process(Event):
                  name: str | None = None) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"process requires a generator, got {generator!r}")
-        super().__init__(sim)
+        # hot-path: inline Event field init (detached posted writes spawn
+        # one process per TLP, so construction cost is on the data path).
+        self.sim = sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._processed = False
+        self._defused = False
         self._generator = generator
-        self._target: Event | None = None
         self.name = name or getattr(generator, "__name__", "process")
         # Kick off at the current instant, ahead of normal events, so a
         # newly spawned process observes the state that existed when it
         # was spawned.
-        from .core import URGENT
-        boot = Event(sim)
-        boot._ok = True
+        boot = Event.__new__(Event)
+        boot.sim = sim
+        boot.callbacks = [self._resume]
         boot._value = None
-        boot.callbacks.append(self._resume)
-        sim._schedule(boot, 0, priority=URGENT)
+        boot._ok = True
+        boot._processed = False
+        boot._defused = False
+        heappush(sim._queue, (sim._now, URGENT, next(sim._sequence), boot))
         self._target = boot
 
     @property
@@ -63,7 +73,6 @@ class Process(Event):
             raise RuntimeError(f"{self!r} has already terminated")
         if self.sim.active_process is self:
             raise RuntimeError("a process cannot interrupt itself")
-        from .core import URGENT
         kick = Event(self.sim)
         kick._ok = False
         kick._value = Interrupt(cause)
@@ -76,20 +85,27 @@ class Process(Event):
             except ValueError:
                 pass
         kick.callbacks.append(self._resume)
-        self.sim._schedule(kick, 0, priority=URGENT)
+        self.sim._push(kick, 0, URGENT)
 
     # -- driving the generator ------------------------------------------------
 
     def _resume(self, event: Event) -> None:
+        # hot-path: every yield in every process funnels through here,
+        # so the generator and bound method are hoisted and the yielded
+        # target is probed with attribute access instead of isinstance
+        # (non-events surface as AttributeError on the error path).
         sim = self.sim
         sim._active_process = self
+        generator = self._generator
+        send = generator.send
+        resume = self._resume
         while True:
             try:
                 if event._ok:
-                    target = self._generator.send(event._value)
+                    target = send(event._value)
                 else:
-                    event.defuse()
-                    target = self._generator.throw(
+                    event._defused = True
+                    target = generator.throw(
                         t.cast(BaseException, event._value))
             except StopIteration as stop:
                 self.succeed(stop.value)
@@ -98,24 +114,26 @@ class Process(Event):
                 self.fail(exc)
                 break
 
-            if not isinstance(target, Event):
+            try:
+                if target._processed:
+                    # Already done: loop immediately with its outcome.
+                    event = target
+                    continue
+                callbacks = target.callbacks
+            except AttributeError:
                 exc = RuntimeError(
                     f"process {self.name!r} yielded a non-event: {target!r}")
                 try:
-                    self._generator.throw(exc)
+                    generator.throw(exc)
                 except StopIteration as stop:
                     self.succeed(stop.value)
                 except BaseException as err:
                     self.fail(err)
                 break
 
-            if target.processed:
-                # Already done: loop immediately with its outcome.
-                event = target
-                continue
-            if target.callbacks is None:  # pragma: no cover - defensive
+            if callbacks is None:  # pragma: no cover - defensive
                 raise RuntimeError("target event is being processed")
-            target.callbacks.append(self._resume)
+            callbacks.append(resume)
             self._target = target
             break
         sim._active_process = None

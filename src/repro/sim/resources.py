@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import typing as t
 from collections import deque
+from heapq import heappush
 
-from .events import Event
+from .events import NORMAL, Event, _PENDING
 
 if t.TYPE_CHECKING:  # pragma: no cover
     from .core import Simulator
@@ -31,7 +32,14 @@ class Request(Event):
     __slots__ = ("resource",)
 
     def __init__(self, sim: "Simulator", resource: "Resource") -> None:
-        super().__init__(sim)
+        # hot-path: inline Event field init (one Request per link per
+        # transaction — cut-through occupancy burns these constantly).
+        self.sim = sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._processed = False
+        self._defused = False
         self.resource = resource
 
     def __enter__(self) -> "Request":
@@ -76,11 +84,26 @@ class Resource:
         return len(self._waiting)
 
     def request(self) -> Request:
-        req = Request(self.sim, self)
+        # hot-path: the uncontended grant inlines succeed(req) — same
+        # fields, same zero-delay NORMAL enqueue, one fresh sequence
+        # number — minus the double-trigger guard a fresh event can't
+        # need.  Request construction and the push are flattened too:
+        # cut-through occupancy issues one of these per link crossing.
+        sim = self.sim
+        req = Request.__new__(Request)
+        req.sim = sim
+        req.callbacks = []
+        req._ok = True
+        req._processed = False
+        req._defused = False
+        req.resource = self
         if len(self._holders) < self.capacity:
             self._holders.add(req)
-            req.succeed(req)
+            req._value = req
+            heappush(sim._queue,
+                     (sim._now, NORMAL, next(sim._sequence), req))
         else:
+            req._value = _PENDING
             self._waiting.append(req)
         return req
 
@@ -94,10 +117,13 @@ class Resource:
                 return
             except ValueError:
                 raise RuntimeError("releasing a request not issued here") from None
+        sim = self.sim
         while self._waiting and len(self._holders) < self.capacity:
             nxt = self._waiting.popleft()
             self._holders.add(nxt)
-            nxt.succeed(nxt)
+            nxt._value = nxt
+            heappush(sim._queue,
+                     (sim._now, NORMAL, next(sim._sequence), nxt))
 
     def acquire(self) -> t.Generator[Event, t.Any, Request]:
         """Convenience sub-generator: ``req = yield from res.acquire()``."""
@@ -119,17 +145,35 @@ class Store:
 
     def put(self, item: t.Any) -> None:
         """Deposit an item, waking the oldest waiting getter if any."""
+        # hot-path: inline succeed on the fresh getter event (same
+        # ordering — zero-delay NORMAL push with a fresh sequence number).
         if self._getters:
-            self._getters.popleft().succeed(item)
+            ev = self._getters.popleft()
+            if ev._value is not _PENDING:
+                raise RuntimeError(f"{ev!r} already triggered")
+            ev._value = item
+            sim = self.sim
+            heappush(sim._queue,
+                     (sim._now, NORMAL, next(sim._sequence), ev))
         else:
             self._items.append(item)
 
     def get(self) -> Event:
         """Event that triggers with the next available item."""
-        ev = Event(self.sim)
+        # hot-path
+        sim = self.sim
+        ev = Event.__new__(Event)
+        ev.sim = sim
+        ev.callbacks = []
+        ev._ok = True
+        ev._processed = False
+        ev._defused = False
         if self._items:
-            ev.succeed(self._items.popleft())
+            ev._value = self._items.popleft()
+            heappush(sim._queue,
+                     (sim._now, NORMAL, next(sim._sequence), ev))
         else:
+            ev._value = _PENDING
             self._getters.append(ev)
         return ev
 

@@ -7,5 +7,5 @@ then import it below (and add fixture tests — see
 docs/static_analysis.md).
 """
 
-from . import (doorbell_order, nonposted_hotpath, no_wallclock,  # noqa: F401
-               process_yields, seeded_rng, units_discipline)
+from . import (doorbell_order, hotpath_alloc, nonposted_hotpath,  # noqa: F401
+               no_wallclock, process_yields, seeded_rng, units_discipline)

@@ -1,0 +1,181 @@
+"""Perf-PR referee tests: the route cache, the pooled sleeps and the
+integer-delay contract must never change a modeled result.
+
+The route cache in :class:`repro.pcie.Fabric` memoises ``resolve()``;
+these tests pin its invalidation contract (address-map version bumps,
+NTB LUT version bumps, live link state) and prove byte-identical
+telemetry with the cache on versus ``REPRO_NO_ROUTE_CACHE=1``.
+"""
+
+import pytest
+
+from repro.pcie import NtbLinkDown
+from repro.sim import Simulator
+from repro.sim.events import PooledTimeout, Timeout
+
+from .test_pcie_fabric import build_two_host_cluster
+
+
+# --- integer-delay contract (Timeout used to truncate silently) ----------
+
+class TestIntegralDelays:
+    def test_integral_float_delay_is_accepted(self):
+        sim = Simulator(seed=0)
+        ev = Timeout(sim, 5.0)
+        assert ev.delay == 5
+        sim.run()
+        assert sim.now == 5
+
+    def test_fractional_delay_raises_instead_of_truncating(self):
+        sim = Simulator(seed=0)
+        with pytest.raises(ValueError, match="non-integral delay"):
+            Timeout(sim, 5.5)
+        with pytest.raises(ValueError, match="non-integral delay"):
+            sim.timeout(2.5)
+        with pytest.raises(ValueError, match="non-integral delay"):
+            sim.sleep(2.5)
+
+    def test_fractional_succeed_delay_raises(self):
+        sim = Simulator(seed=0)
+        with pytest.raises(ValueError, match="non-integral delay"):
+            sim.event().succeed(delay=0.5)
+
+    def test_negative_delay_still_raises(self):
+        sim = Simulator(seed=0)
+        with pytest.raises(ValueError, match="negative"):
+            sim.timeout(-1)
+
+
+# --- pooled sleeps -------------------------------------------------------
+
+class TestPooledSleep:
+    def test_sleep_times_match_timeout(self):
+        def run(factory_name):
+            sim = Simulator(seed=3)
+            marks = []
+
+            def proc(sim):
+                factory = getattr(sim, factory_name)
+                for delay in (5, 0, 17, 123, 1):
+                    yield factory(delay)
+                    marks.append(sim.now)
+
+            sim.process(proc(sim))
+            sim.run()
+            return marks, sim.events_processed
+
+        assert run("sleep") == run("timeout")
+
+    def test_sleep_events_are_recycled(self):
+        sim = Simulator(seed=3)
+        seen = set()
+
+        def proc(sim):
+            for _ in range(64):
+                ev = sim.sleep(10)
+                seen.add(id(ev))
+                yield ev
+
+        sim.process(proc(sim))
+        sim.run()
+        # After the first sleep is processed, every later one reuses it.
+        assert len(seen) < 64
+        assert sim._timeout_pool
+        assert all(type(ev) is PooledTimeout for ev in sim._timeout_pool)
+
+
+# --- route-cache invalidation -------------------------------------------
+
+def _write_once(sim, fabric, host, addr, payload):
+    def proc(sim):
+        yield from fabric.write(host.rc, host, addr, payload)
+    sim.process(proc(sim))
+    sim.run()
+
+
+class TestRouteCacheInvalidation:
+    def test_cache_hits_replay_ntb_counters(self):
+        sim, cluster, fabric, devhost, client, *_, ntb_b = \
+            build_two_host_cluster()
+        remote = devhost.alloc_dma(4096)
+        window = ntb_b.map_window(devhost, remote, 4096)
+        _write_once(sim, fabric, client, window, b"a" * 64)
+        first = (ntb_b.translations, ntb_b.bytes_forwarded)
+        _write_once(sim, fabric, client, window, b"b" * 64)
+        # The second resolve is a cache hit; the observable NTB counters
+        # must advance exactly as the uncached walk would have.
+        assert ntb_b.translations == 2 * first[0]
+        assert ntb_b.bytes_forwarded == 2 * first[1]
+
+    def test_link_down_reaches_cached_routes(self):
+        sim, cluster, fabric, devhost, client, *_, ntb_b = \
+            build_two_host_cluster()
+        remote = devhost.alloc_dma(4096)
+        window = ntb_b.map_window(devhost, remote, 4096)
+        _write_once(sim, fabric, client, window, b"x" * 32)  # warm cache
+        ntb_b.set_link_state(False)
+        with pytest.raises(NtbLinkDown):
+            fabric.resolve(client, window, 32)
+        ntb_b.set_link_state(True)
+        before = devhost.memory.read(remote, 32)
+        _write_once(sim, fabric, client, window, b"y" * 32)
+        assert devhost.memory.read(remote, 32) == b"y" * 32 != before
+
+    def test_window_remap_invalidates_cached_route(self):
+        sim, cluster, fabric, devhost, client, *_, ntb_b = \
+            build_two_host_cluster()
+        remote_a = devhost.alloc_dma(4096)
+        remote_b = devhost.alloc_dma(4096)
+        window = ntb_b.map_window(devhost, remote_a, 4096)
+        _write_once(sim, fabric, client, window, b"1" * 16)
+        assert devhost.memory.read(remote_a, 16) == b"1" * 16
+        # Remap the same local window to a different remote page: the
+        # LUT version bump must defeat the cached resolution.
+        ntb_b.unmap_window(window)
+        window2 = ntb_b.map_window(devhost, remote_b, 4096)
+        assert window2 == window  # same local address, new target
+        _write_once(sim, fabric, client, window, b"2" * 16)
+        assert devhost.memory.read(remote_b, 16) == b"2" * 16
+        assert devhost.memory.read(remote_a, 16) == b"1" * 16
+
+    def test_address_map_change_invalidates_cached_route(self):
+        sim, cluster, fabric, devhost, client, *_ = \
+            build_two_host_cluster()
+        local = client.alloc_dma(4096)
+        res1 = fabric.resolve(client, local, 64)
+        version = client.addr_map.version
+        # Any map mutation bumps the version and must defeat cached hits.
+        scratch = client.addr_map.add(0xdead_0000, 4096, client.memory,
+                                      label="scratch")
+        assert client.addr_map.version > version
+        res2 = fabric.resolve(client, local, 64)
+        assert res2.addr == res1.addr and res2.host is res1.host
+        client.addr_map.remove(scratch)
+        res3 = fabric.resolve(client, local, 64)
+        assert res3.addr == res1.addr
+
+
+# --- byte-identical telemetry with the cache disabled --------------------
+
+class TestNoRouteCacheEscapeHatch:
+    @pytest.mark.parametrize("scenario", ["ours-remote", "chaos"])
+    def test_exports_identical_with_and_without_cache(self, scenario,
+                                                      monkeypatch):
+        from repro.telemetry.runner import run_scenario
+
+        def exports():
+            run = run_scenario(scenario, ios=60, seed=13)
+            return run.perfetto_json(), run.prometheus_text()
+
+        cached = exports()
+        monkeypatch.setenv("REPRO_NO_ROUTE_CACHE", "1")
+        uncached = exports()
+        assert cached == uncached
+
+    def test_env_var_disables_the_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_ROUTE_CACHE", "1")
+        sim, cluster, fabric, *_ = build_two_host_cluster()
+        assert fabric._route_cache is None
+        monkeypatch.delenv("REPRO_NO_ROUTE_CACHE")
+        sim, cluster, fabric, *_ = build_two_host_cluster()
+        assert fabric._route_cache == {}

@@ -292,3 +292,83 @@ def test_process_passes_generators_and_factories(tmp_path):
                 return make_generator_elsewhere()
     """)
     assert findings == []
+
+
+# --- hotpath-alloc -------------------------------------------------------
+
+def test_hotpath_alloc_flags_dataclass_and_comprehensions(tmp_path):
+    findings = run_rule(tmp_path, "hotpath-alloc", """
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Entry:
+            addr: int
+
+        class Router:
+            def resolve(self, addr):
+                # hot-path
+                hops = [n for n in self.nodes]
+                return Entry(addr=addr)
+    """)
+    assert [f.rule for f in findings] == ["hotpath-alloc", "hotpath-alloc"]
+    messages = " ".join(f.message for f in findings)
+    assert "list comprehension" in messages
+    assert "Entry" in messages
+
+
+def test_hotpath_alloc_ignores_unmarked_functions(tmp_path):
+    findings = run_rule(tmp_path, "hotpath-alloc", """
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Entry:
+            addr: int
+
+        class Router:
+            def _build_plan(self, addrs):
+                # cold: runs once per topology change
+                return {a: Entry(addr=a) for a in addrs}
+
+            def resolve(self, addr):
+                # hot-path
+                return self._plan[addr]
+    """)
+    assert findings == []
+
+
+def test_hotpath_alloc_marker_binds_to_innermost_function(tmp_path):
+    findings = run_rule(tmp_path, "hotpath-alloc", """
+        class Router:
+            def outer(self):
+                extents = [b for b in self.blocks]
+
+                def inner(x):
+                    # hot-path
+                    return x + 1
+                return inner
+    """)
+    # The marker inside ``inner`` must not drag ``outer`` (and its
+    # comprehension) into the contract.
+    assert findings == []
+
+
+def test_hotpath_alloc_respects_suppression(tmp_path):
+    findings = run_rule(tmp_path, "hotpath-alloc", """
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Entry:
+            addr: int
+
+        class Router:
+            def resolve(self, addr):
+                # hot-path
+                cached = self._cache.get(addr)
+                if cached is not None:
+                    return cached
+                # staticcheck: ignore[hotpath-alloc] miss path, built once
+                entry = Entry(addr=addr)
+                self._cache[addr] = entry
+                return entry
+    """)
+    assert findings == []
