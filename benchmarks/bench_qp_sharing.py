@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Shared I/O queue pairs: does admission beyond 31 hosts cost IOPS?
+
+The paper's P4800X supports 31 I/O queue pairs, one per host — the
+hard cluster ceiling.  With manager-hosted shared SQs
+(docs/queue_sharing.md) the ceiling becomes a *capacity* limit: extra
+clients are admitted as tenants of shared queue pairs, submitting into
+reserved slot windows and polling client-local completion mailboxes.
+
+This bench compares, on one single-function controller:
+
+* ``private-31`` — the paper's baseline: 31 clients, one private QP
+  each, sharing disabled;
+* ``shared-32``  — the first client past the old limit (default
+  policy: mostly private QPs plus a few shared tenants);
+* ``shared-64``  — a 64-client scale-out on the same 31 QPs.
+
+The device, not the queueing model, should bound aggregate throughput:
+the acceptance gate (``--check``) fails if the 64-client aggregate
+falls more than 10% below the 31-client private baseline.
+
+Usage::
+
+    python benchmarks/bench_qp_sharing.py              # full run
+    python benchmarks/bench_qp_sharing.py --quick      # CI smoke
+    python benchmarks/bench_qp_sharing.py --quick --check   # gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis import format_table                       # noqa: E402
+from repro.config import SimulationConfig                     # noqa: E402
+from repro.scenarios import multihost, scale_out_cluster      # noqa: E402
+from repro.workloads import FioJob, run_fio_many              # noqa: E402
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: ios per client, (full, quick)
+SIZES = {"private-31": (300, 80), "shared-32": (300, 80),
+         "shared-64": (150, 40)}
+QD = 2
+
+
+def no_sharing_config() -> SimulationConfig:
+    cfg = SimulationConfig()
+    return dataclasses.replace(
+        cfg, sharing=dataclasses.replace(cfg.sharing, enabled=False))
+
+
+def build(mode: str):
+    if mode == "private-31":
+        return multihost(31, config=no_sharing_config(), seed=431,
+                         queue_depth=QD, sharing="never")
+    if mode == "shared-32":
+        return multihost(32, seed=432, queue_depth=QD)
+    if mode == "shared-64":
+        return scale_out_cluster(64, seed=464, queue_depth=QD)
+    raise ValueError(mode)
+
+
+def run_mode(mode: str, quick: bool) -> dict:
+    ios = SIZES[mode][1 if quick else 0]
+    scenario = build(mode)
+    jobs = [(client, FioJob(name=f"qs{i}", rw="randread", bs=4096,
+                            iodepth=QD, total_ios=ios,
+                            region_lbas=1 << 20))
+            for i, client in enumerate(scenario.clients)]
+    results = run_fio_many(jobs)
+    n = len(results)
+    assert all(r.ios == ios and r.errors == 0 for r in results)
+    assert sum(c.timeouts for c in scenario.clients) == 0
+    agg_iops = sum(r.iops for r in results)
+    med_lat = sum(r.summary("read").median for r in results) / n
+    shared = sum(1 for c in scenario.clients if c._shared)
+    return {"clients": n, "shared_tenants": shared,
+            "agg_iops": agg_iops, "per_client_iops": agg_iops / n,
+            "median_lat_ns": med_lat,
+            "rejections": scenario.manager.admission_rejections,
+            "orphans": scenario.manager.cqes_orphaned}
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small I/O counts (CI smoke)")
+    ap.add_argument("--check", action="store_true",
+                    help="fail unless shared-64 aggregate IOPS is "
+                         "within 10%% of the private-31 baseline")
+    args = ap.parse_args(argv)
+
+    rows = {mode: run_mode(mode, args.quick) for mode in SIZES}
+    art = format_table(
+        ["mode", "clients", "shared tenants", "aggregate kIOPS",
+         "per-client kIOPS", "median lat (us)"],
+        [[mode, s["clients"], s["shared_tenants"],
+          f"{s['agg_iops'] / 1e3:.1f}",
+          f"{s['per_client_iops'] / 1e3:.1f}",
+          f"{s['median_lat_ns'] / 1e3:.2f}"]
+         for mode, s in rows.items()],
+        title="One P4800X, 31 I/O QPs: private-per-host vs shared "
+              f"queue pairs (4 KiB randread, QD={QD} per client)")
+    print(art)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "qp_sharing.txt").write_text(art + "\n")
+
+    for mode, s in rows.items():
+        if s["rejections"] or s["orphans"]:
+            print(f"FAIL: {mode} saw {s['rejections']} rejections / "
+                  f"{s['orphans']} orphaned CQEs")
+            return 1
+    if args.check:
+        base = rows["private-31"]["agg_iops"]
+        scaled = rows["shared-64"]["agg_iops"]
+        ratio = scaled / base
+        verdict = "OK" if ratio >= 0.9 else "REGRESSION"
+        print(f"shared-64 / private-31 aggregate: {ratio:.3f}x  {verdict}")
+        if ratio < 0.9:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -289,6 +289,55 @@ class ReliabilityConfig:
 
 
 # ---------------------------------------------------------------------------
+# Shared I/O queue pairs (docs/queue_sharing.md)
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class QpSharingConfig:
+    """Admission policy for multiplexing clients onto shared queue pairs.
+
+    The device exposes ``NvmeConfig.max_queue_pairs - 1`` I/O queue
+    pairs (31 on the P4800X), which caps a private-QP-per-host cluster
+    at 31 clients.  Sharing breaks that limit: the manager reserves
+    ``reserved_qps`` queue ids for *shared* queue pairs whose submission
+    ring is split into fixed slot windows, one window per tenant.
+    Admission is private-first — clients get a private QP while more
+    than ``reserved_qps`` queue ids remain free — then least-loaded
+    shared.
+    """
+
+    #: Master switch.  Off restores the paper's strict 31-client limit
+    #: (the 32nd client is refused with RPC_NO_QUEUES).
+    enabled: bool = True
+    #: Queue ids held back from private admission and used to create
+    #: shared QPs on demand.  Also the maximum number of shared QPs.
+    reserved_qps: int = 4
+    #: Ring size of a shared submission queue (and its completion
+    #: queue).  Must not exceed ``NvmeConfig.max_queue_entries``.
+    sq_entries: int = 256
+    #: Slot-window size per tenant; ``sq_entries // window_entries``
+    #: windows exist per shared QP, capped by the 4-bit CID tenant
+    #: namespace (16 tenants).
+    window_entries: int = 16
+    #: Client-side doorbell batching for shared-SQ tenants: submissions
+    #: within this many ns ring the (tenant-encoded) doorbell once.
+    #: 0 rings per submission, exactly like a private QP.
+    doorbell_batch_ns: int = 0
+
+    @property
+    def windows_per_qp(self) -> int:
+        return min(self.sq_entries // self.window_entries, 16)
+
+    def capacity(self, io_queue_pairs: int) -> int:
+        """Total admissible clients given the device's I/O QP count."""
+        if not self.enabled:
+            return io_queue_pairs
+        reserve = min(self.reserved_qps, io_queue_pairs)
+        return (io_queue_pairs - reserve
+                + reserve * self.windows_per_qp)
+
+
+# ---------------------------------------------------------------------------
 # Cluster / NTB scenario parameters
 # ---------------------------------------------------------------------------
 
@@ -327,6 +376,8 @@ class SimulationConfig:
     cluster: ClusterConfig = dataclasses.field(default_factory=ClusterConfig)
     reliability: ReliabilityConfig = dataclasses.field(
         default_factory=ReliabilityConfig)
+    sharing: QpSharingConfig = dataclasses.field(
+        default_factory=QpSharingConfig)
     seed: int = 42
 
 

@@ -154,11 +154,16 @@ class AdminQueues:
             cdw11=(vector << 16) | (2 if interrupts else 0) | 1))
 
     def create_io_sq(self, qid: int, entries: int, base_device_addr: int,
-                     cqid: int):
+                     cqid: int, shared: bool = False,
+                     window_entries: int = 0):
+        # ``shared`` sets the vendor-extension bit (cdw11 bit 3) that
+        # creates a windowed shared SQ; cdw12 carries the per-tenant
+        # window size (docs/queue_sharing.md).
         yield from self.submit_ok(SubmissionEntry(
             opcode=AdminOpcode.CREATE_IO_SQ, prp1=base_device_addr,
             cdw10=((entries - 1) << 16) | qid,
-            cdw11=(cqid << 16) | 1))
+            cdw11=(cqid << 16) | (8 if shared else 0) | 1,
+            cdw12=window_entries & 0xFFFF))
 
     def delete_io_sq(self, qid: int):
         yield from self.submit_ok(SubmissionEntry(

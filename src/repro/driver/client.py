@@ -32,7 +32,8 @@ from ..nvme import (CompletionEntry, CompletionQueueState, IoOpcode,
                     SubmissionEntry, SubmissionQueueState,
                     cq_doorbell_offset, sq_doorbell_offset)
 from ..pcie.fabric import FabricFaultError
-from ..sim import NULL_TRACER, Event, Interrupt, Process, Simulator, Store
+from ..sim import (NULL_TRACER, Event, Interrupt, Process, Signal,
+                   Simulator, Store)
 from ..sisci import RemoteSegment, SisciNode
 from ..smartio import Placement, SmartIoService
 from ..units import serialize_ns
@@ -69,6 +70,7 @@ class DistributedNvmeClient(BlockDevice):
                  cq_placement: str = "client",
                  data_path: str = "bounce",
                  completion_mode: str = "poll",
+                 sharing: str = "auto",
                  slot_index: int | None = None,
                  name: str | None = None, tracer=NULL_TRACER) -> None:
         if sq_placement not in ("device", "client"):
@@ -82,6 +84,12 @@ class DistributedNvmeClient(BlockDevice):
         if completion_mode == "interrupt" and cq_placement != "client":
             raise ClientError(
                 "interrupt mode requires a client-local CQ")
+        if sharing not in ("auto", "never", "force"):
+            raise ClientError(f"bad sharing: {sharing}")
+        if sharing == "force" and completion_mode == "interrupt":
+            raise ClientError(
+                "interrupt completion is incompatible with a shared QP "
+                "(completions arrive by mailbox forwarding)")
         if queue_depth >= queue_entries:
             queue_depth = queue_entries - 1
         self.smartio = smartio
@@ -93,6 +101,7 @@ class DistributedNvmeClient(BlockDevice):
         self.cq_placement = cq_placement
         self.data_path = data_path
         self.completion_mode = completion_mode
+        self.sharing = sharing
         self.slot_index = (slot_index if slot_index is not None
                            else (node.node_id - 4) % meta.NSLOTS)
         super().__init__(sim, name or f"{node.host.name}-nvme",
@@ -102,6 +111,7 @@ class DistributedNvmeClient(BlockDevice):
         self._cid = 0
         self._inflight: dict[int, Event] = {}
         self._running = False
+        self._started = False
         self.crashed = False
         self.qid: int | None = None
         self._ref = None
@@ -109,6 +119,14 @@ class DistributedNvmeClient(BlockDevice):
         self._poll_stream = f"poll:{self.name}"
         self._poll_proc: Process | None = None
         self._hb_proc: Process | None = None
+        #: shared-QP tenancy (docs/queue_sharing.md); populated when the
+        #: manager admits us onto a shared queue pair.
+        self._shared = False
+        self._tenant = 0
+        self._win_start = 0
+        self._submitted = 0             # absolute, continues predecessor's
+        self._sq_space = Signal(sim)    # fired per completion (flow ctl)
+        self._db_timer: Process | None = None
         #: recovery accounting
         self.timeouts = 0
         self.retries = 0
@@ -130,43 +148,61 @@ class DistributedNvmeClient(BlockDevice):
         self.capacity_lbas = header["capacity_lbas"]
         self.nsid = header["nsid"]
 
-        # Queue segments, placed per strategy, resolved for the device.
-        sq_seg = self.smartio.alloc_segment_placed(
-            self.node, self.device_id, self.queue_entries * 64,
-            Placement.DEVICE_SIDE if self.sq_placement == "device"
-            else Placement.CPU_SIDE)
-        cq_seg = self.smartio.alloc_segment_placed(
-            self.node, self.device_id, self.queue_entries * 16,
-            Placement.CPU_SIDE if self.cq_placement == "client"
-            else Placement.DEVICE_SIDE)
-        sq_dev_addr = self._ref.map_segment_for_device(sq_seg)
-        cq_dev_addr = self._ref.map_segment_for_device(cq_seg)
-        self._sq_seg, self._cq_seg = sq_seg, cq_seg
-        # CPU-side access paths to the queue memory.
-        self._sq_conn = self.node.connect_segment(sq_seg.id.node_id,
-                                                  sq_seg.id.segment_id)
-        self._cq_conn = self.node.connect_segment(cq_seg.id.node_id,
-                                                  cq_seg.id.segment_id)
-        self._cq_local = cq_seg.host is self.node.host
+        # Private attempt first (unless sharing is forced): allocate
+        # queue segments placed per strategy, resolved for the device.
+        resp = None
+        if self.sharing != "force":
+            sq_seg = self.smartio.alloc_segment_placed(
+                self.node, self.device_id, self.queue_entries * 64,
+                Placement.DEVICE_SIDE if self.sq_placement == "device"
+                else Placement.CPU_SIDE)
+            cq_seg = self.smartio.alloc_segment_placed(
+                self.node, self.device_id, self.queue_entries * 16,
+                Placement.CPU_SIDE if self.cq_placement == "client"
+                else Placement.DEVICE_SIDE)
+            sq_dev_addr = self._ref.map_segment_for_device(sq_seg)
+            cq_dev_addr = self._ref.map_segment_for_device(cq_seg)
 
-        # Ask the manager for a queue pair (interrupt-capable when the
-        # remote-interrupt extension is requested).
-        flags = (meta.FLAG_INTERRUPTS
-                 if self.completion_mode == "interrupt" else 0)
-        resp = yield from self._rpc(meta.OP_CREATE_QP,
-                                    entries=self.queue_entries,
-                                    sq_addr=sq_dev_addr,
-                                    cq_addr=cq_dev_addr,
-                                    flags=flags)
-        if resp["rpc_status"] != meta.RPC_OK:
-            raise ClientError(f"manager refused queue pair: "
-                              f"{resp['rpc_status']}")
-        self.qid = resp["qid"]
-        self.sq = SubmissionQueueState(qid=self.qid, base_addr=0,
-                                       entries=self.queue_entries,
-                                       cqid=self.qid)
-        self.cq = CompletionQueueState(qid=self.qid, base_addr=0,
-                                       entries=self.queue_entries)
+            # Ask the manager for a queue pair (interrupt-capable when
+            # the remote-interrupt extension is requested).
+            flags = (meta.FLAG_INTERRUPTS
+                     if self.completion_mode == "interrupt" else 0)
+            resp = yield from self._rpc(meta.OP_CREATE_QP,
+                                        entries=self.queue_entries,
+                                        sq_addr=sq_dev_addr,
+                                        cq_addr=cq_dev_addr,
+                                        flags=flags)
+            if (resp["rpc_status"] == meta.RPC_USE_SHARED
+                    and self.sharing == "auto"
+                    and self.completion_mode != "interrupt"):
+                # Private QPs are exhausted down to the shared reserve:
+                # give the queue memory back and retry as a tenant.
+                self._ref.unmap_segment_for_device(sq_dev_addr)
+                self._ref.unmap_segment_for_device(cq_dev_addr)
+                sq_seg.remove()
+                cq_seg.remove()
+                resp = None
+            elif resp["rpc_status"] != meta.RPC_OK:
+                raise ClientError(f"manager refused queue pair: "
+                                  f"{resp['rpc_status']}")
+
+        if resp is not None:
+            # Private queue pair.
+            self._sq_seg, self._cq_seg = sq_seg, cq_seg
+            # CPU-side access paths to the queue memory.
+            self._sq_conn = self.node.connect_segment(sq_seg.id.node_id,
+                                                      sq_seg.id.segment_id)
+            self._cq_conn = self.node.connect_segment(cq_seg.id.node_id,
+                                                      cq_seg.id.segment_id)
+            self._cq_local = cq_seg.host is self.node.host
+            self.qid = resp["qid"]
+            self.sq = SubmissionQueueState(qid=self.qid, base_addr=0,
+                                           entries=self.queue_entries,
+                                           cqid=self.qid)
+            self.cq = CompletionQueueState(qid=self.qid, base_addr=0,
+                                           entries=self.queue_entries)
+        else:
+            yield from self._start_shared()
 
         # Bounce buffer: client-local, partitioned per in-flight request.
         # Each partition is [one PRP-list page][data], so the NVMe DMA
@@ -188,12 +224,65 @@ class DistributedNvmeClient(BlockDevice):
             yield from self._setup_remote_interrupts()
 
         self._running = True
+        self._started = True
         if self.completion_mode == "interrupt":
             self._poll_proc = self.sim.process(self._interrupt_handler())
         else:
             self._poll_proc = self.sim.process(self._poller())
         if self.config.reliability.heartbeat_interval_ns > 0:
             self._hb_proc = self.sim.process(self._heartbeat())
+
+    def _start_shared(self) -> t.Generator:
+        """Become a *tenant* of a manager-hosted shared queue pair
+        (docs/queue_sharing.md).
+
+        Only a client-local completion mailbox is allocated here; the
+        shared SQ lives in the manager's host and we submit into our
+        reserved slot window with posted writes through the NTB.  The
+        manager's demux worker forwards our completions (matched by the
+        tenant bits of the CID) into the mailbox as posted writes, so
+        the completion path stays client-local polling exactly like a
+        private client-side CQ.
+        """
+        if self.completion_mode == "interrupt":
+            raise ClientError(
+                "interrupt completion is incompatible with a shared QP")
+        mb_seg = self.smartio.alloc_segment_placed(
+            self.node, self.device_id, self.queue_entries * 16,
+            Placement.CPU_SIDE)
+        resp = yield from self._rpc(
+            meta.OP_CREATE_QP, entries=self.queue_entries,
+            flags=meta.FLAG_SHARED,
+            share_node=mb_seg.id.node_id, share_seg=mb_seg.id.segment_id)
+        if resp["rpc_status"] != meta.RPC_OK:
+            mb_seg.remove()
+            raise ClientError(f"manager refused shared queue pair: "
+                              f"{resp['rpc_status']}")
+        self._shared = True
+        self.qid = resp["qid"]
+        self._tenant = resp["tenant"]
+        self._win_start = resp["win_start"]
+        win_len = resp["win_len"]
+        # Window handoff: win_tail is the window's absolute submission
+        # count over all of its tenants so far.  The controller's window
+        # head stands at that count modulo the window size; start our
+        # ring there so head/tail agree, and continue the absolute count
+        # in our doorbell shadow so the manager can tell when the window
+        # has fully drained.
+        self._submitted = resp["win_tail"]
+        tail = resp["win_tail"] % win_len
+        self._sq_conn = self.node.connect_segment(resp["share_node"],
+                                                  resp["share_seg"])
+        self._cq_seg = mb_seg
+        self._cq_local = True
+        self.sq = SubmissionQueueState(qid=self.qid, base_addr=0,
+                                       entries=win_len, cqid=self.qid,
+                                       head=tail, tail=tail)
+        self.cq = CompletionQueueState(qid=self.qid, base_addr=0,
+                                       entries=self.queue_entries)
+        self.tracer.emit("client", "shared-qp-joined", client=self.name,
+                         qid=self.qid, tenant=self._tenant,
+                         win_start=self._win_start, win_len=win_len)
 
     def _setup_remote_interrupts(self) -> t.Generator:
         """The remote-interrupt extension (paper future work).
@@ -265,6 +354,8 @@ class DistributedNvmeClient(BlockDevice):
         inflight, self._inflight = self._inflight, {}
         for cid in sorted(inflight):
             inflight[cid].succeed(CompletionEntry(cid=cid, status=status))
+        # Release submitters parked on a full (shared) SQ window.
+        self._sq_space.fire()
 
     def _heartbeat(self) -> t.Generator:
         """Post the liveness counter into the metadata segment."""
@@ -287,13 +378,16 @@ class DistributedNvmeClient(BlockDevice):
 
     def _rpc(self, op: int, qid: int = 0, entries: int = 0,
              sq_addr: int = 0, cq_addr: int = 0,
-             flags: int = 0) -> t.Generator:
+             flags: int = 0, share_node: int = 0,
+             share_seg: int = 0) -> t.Generator:
         assert self._meta_conn is not None
         cfg = self.config.host
         offset = meta.slot_offset(self.slot_index)
         payload = meta.pack_slot(meta.SLOT_REQUEST, op=op, qid=qid,
                                  entries=entries, sq_addr=sq_addr,
-                                 cq_addr=cq_addr, flags=flags)
+                                 cq_addr=cq_addr, flags=flags,
+                                 share_node=share_node,
+                                 share_seg=share_seg)
         while True:
             yield from self._meta_conn.write_wait(offset, payload)
             resend = False
@@ -331,6 +425,12 @@ class DistributedNvmeClient(BlockDevice):
             request.status = STATUS_HOST_CRASHED
             return
         if not self._running:
+            if self._started:
+                # Shut down with requests still queued in the block
+                # layer: drain them with the distinct host-side status,
+                # symmetric with the crash path above.
+                request.status = STATUS_HOST_SHUTDOWN
+                return
             raise ClientError("client not started")
         cfg = self.config.host
         nbytes = (request.nblocks * self.lba_bytes
@@ -381,20 +481,45 @@ class DistributedNvmeClient(BlockDevice):
                                       if self.crashed
                                       else STATUS_HOST_SHUTDOWN)
                 break
-            if rel.command_timeout_ns > 0 and self.sq.is_full():
-                # The SQ window is clogged with commands whose
+            if self.sq.is_full():
+                if rel.command_timeout_ns <= 0:
+                    # Recovery disabled: nothing can be lost, so the
+                    # ring is legitimately full (queue depth above a
+                    # shared slot window) — wait for a completion to
+                    # free a slot (shutdown/crash fire the signal too,
+                    # re-checked at the loop head).
+                    yield self._sq_space.wait()
+                    continue
+                # The ring may be clogged with commands whose
                 # completions were lost; recover what landed beyond CQ
-                # holes and back off instead of overflowing the ring.
+                # holes before treating fullness as a fault.
                 self._resync_cq()
                 if self.sq.is_full():
+                    if self._shared:
+                        # A shared slot window fills in healthy
+                        # operation whenever the queue depth exceeds
+                        # it; give in-flight I/Os one timeout period
+                        # to free a slot before calling it a clog.
+                        space = self._sq_space.wait()
+                        expiry = self.sim.timeout(rel.command_timeout_ns)
+                        outcome = yield self.sim.any_of((space, expiry))
+                        if space in outcome:
+                            continue
                     if attempt >= rel.max_retries:
                         cqe = CompletionEntry(status=STATUS_HOST_TIMEOUT)
                         break
                     attempt += 1
                     yield self.sim.timeout(rel.retry_backoff_ns * attempt)
                     continue
-            self._cid = (self._cid + 1) % 0x10000
-            sqe.cid = self._cid
+            if self._shared:
+                # CID namespacing: our tenant index in the high bits
+                # keeps in-flight ids of co-tenants disjoint and lets
+                # the manager demux completions without extra state.
+                self._cid = (self._cid + 1) % (meta.CID_SEQ_MASK + 1)
+                sqe.cid = meta.make_cid(self._tenant, self._cid)
+            else:
+                self._cid = (self._cid + 1) % 0x10000
+                sqe.cid = self._cid
             done = Event(self.sim)
             self._inflight[sqe.cid] = done
             if request.span is not None:
@@ -455,15 +580,15 @@ class DistributedNvmeClient(BlockDevice):
     def _issue(self, sqe: SubmissionEntry, span=None) -> None:
         """One submission: SQE store, then the doorbell behind it."""
         # Write the SQE into queue memory.  Device-side SQ: posted store
-        # through the NTB window; client-side SQ: plain local store.
+        # through the NTB window; client-side SQ: plain local store;
+        # shared SQ: posted store into our slot window of the manager-
+        # hosted ring.
         slot = self.sq.advance_tail()
-        sqe_write = self._sq_conn.write(slot * 64, sqe.pack())
-        # Ring the doorbell through the mapped BAR (posted; ordered
-        # behind the SQE store by PCIe posted-write ordering).
-        db_write = self.node.fabric.post_write(
-            self.node.host.rc, self.node.host,
-            self._bar + sq_doorbell_offset(self.qid),
-            self.sq.tail.to_bytes(4, "little"))
+        if self._shared:
+            self._submitted += 1
+        offset = ((self._win_start + slot) * 64 if self._shared
+                  else slot * 64)
+        sqe_write = self._sq_conn.write(offset, sqe.pack())
         if span is not None:
             # Delivery-time boundaries: piggyback on the posted writes'
             # completion events — adds no queue entries or RNG draws, so
@@ -473,10 +598,57 @@ class DistributedNvmeClient(BlockDevice):
                 sqe_write.callbacks.append(
                     lambda _ev, s=span: s.mark("sqe-delivered",
                                                self.sim.now))
-            if db_write.callbacks is not None:
-                db_write.callbacks.append(
-                    lambda _ev, s=span: s.mark("doorbell-delivered",
-                                               self.sim.now))
+        if self._shared:
+            batch_ns = self.config.sharing.doorbell_batch_ns
+            if batch_ns > 0:
+                # Batched ring: one doorbell covers every SQE issued
+                # within the window.  Safe because the tail value rung
+                # is read when the timer fires, after all those stores.
+                if self._db_timer is None or not self._db_timer.is_alive:
+                    self._db_timer = self.sim.process(
+                        self._doorbell_batcher(batch_ns))
+            else:
+                self._ring_shared_sq_doorbell(span)
+            return
+        # Ring the doorbell through the mapped BAR (posted; ordered
+        # behind the SQE store by PCIe posted-write ordering).
+        db_write = self.node.fabric.post_write(
+            self.node.host.rc, self.node.host,
+            self._bar + sq_doorbell_offset(self.qid),
+            self.sq.tail.to_bytes(4, "little"))
+        if span is not None and db_write.callbacks is not None:
+            db_write.callbacks.append(
+                lambda _ev, s=span: s.mark("doorbell-delivered",
+                                           self.sim.now))
+
+    def _ring_shared_sq_doorbell(self, span=None) -> None:
+        """Shared-SQ ring: mirror the absolute submission count into our
+        doorbell shadow first (the manager reads it locally at
+        release/reclaim — count mod window size hands the ring position
+        to the next tenant, and the count itself tells the manager when
+        every command ever submitted to the window has completed), then
+        ring with the window index encoded in the doorbell's high
+        half."""
+        assert self._meta_conn is not None
+        self._meta_conn.write(
+            meta.shadow_offset(self.qid, self._tenant),
+            self._submitted.to_bytes(meta.SHADOW_SIZE, "little"))
+        db_write = self.node.fabric.post_write(
+            self.node.host.rc, self.node.host,
+            self._bar + sq_doorbell_offset(self.qid),
+            ((self._tenant << 16) | self.sq.tail).to_bytes(4, "little"))
+        if span is not None and db_write.callbacks is not None:
+            db_write.callbacks.append(
+                lambda _ev, s=span: s.mark("doorbell-delivered",
+                                           self.sim.now))
+
+    def _doorbell_batcher(self, batch_ns: int) -> t.Generator:
+        """Sleep out the batching window, then ring once with the
+        latest tail (covers every SQE issued meanwhile)."""
+        yield self.sim.sleep(batch_ns)
+        self._db_timer = None
+        if self._running:
+            self._ring_shared_sq_doorbell()
 
     def _memcpy_ns(self, nbytes: int) -> int:
         cfg = self.config.host
@@ -595,7 +767,10 @@ class DistributedNvmeClient(BlockDevice):
             return  # shutdown/crash stopped the poller
 
     def _dispatch(self, cqe: CompletionEntry) -> None:
+        # For a shared QP the controller reports the *window-relative*
+        # head, which is exactly what our window-sized ring models.
         self.sq.head = cqe.sq_head
+        self._sq_space.fire()
         done = self._inflight.pop(cqe.cid, None)
         if done is not None:
             done.succeed(cqe)
@@ -651,6 +826,10 @@ class DistributedNvmeClient(BlockDevice):
         return len(found)
 
     def _ring_cq_doorbell(self) -> None:
+        if self._shared:
+            # The mailbox ring has no doorbell; the manager's demux
+            # worker acknowledges the real shared CQ on our behalf.
+            return
         self.node.fabric.post_write(
             self.node.host.rc, self.node.host,
             self._bar + cq_doorbell_offset(self.qid),

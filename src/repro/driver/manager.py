@@ -20,12 +20,15 @@ The manager:
 
 from __future__ import annotations
 
+import dataclasses
 import typing as t
 
 from ..config import SimulationConfig
+from ..nvme import (CompletionEntry, CompletionQueueState,
+                    cq_doorbell_offset)
 from ..sim import NULL_TRACER, Resource, Simulator
 from ..telemetry.hub import NULL_TELEMETRY
-from ..sisci import LocalSegment, SisciNode
+from ..sisci import LocalSegment, RemoteSegment, SisciError, SisciNode
 from ..smartio import SmartIoService
 from . import metadata as meta
 from .adminq import AdminError, AdminQueues
@@ -35,10 +38,79 @@ class ManagerError(Exception):
     pass
 
 
+@dataclasses.dataclass(slots=True)
+class _SharedTenant:
+    """One admitted tenant of a shared QP (manager-side bookkeeping).
+
+    ``mailbox`` is None only for the transient *reserved* placeholder
+    that holds a window while the rest of admission runs; a failed
+    admission rolls the placeholder back (the RPC_NO_QUEUES rule:
+    nothing may stay reserved on a rejected request)."""
+
+    slot: int
+    mailbox: RemoteSegment | None
+    ring: CompletionQueueState | None
+
+
+@dataclasses.dataclass(slots=True)
+class _SharedQp:
+    """Manager-side state of one shared (windowed) queue pair."""
+
+    qid: int
+    sq_seg: LocalSegment
+    cq_seg: LocalSegment
+    entries: int
+    win_entries: int
+    cq: CompletionQueueState          # consumer view of the shared CQ
+    tenants: list[_SharedTenant | None]
+    #: absolute submission count handed to the next tenant of each
+    #: window (the departed tenant's doorbell shadow); the successor's
+    #: ring tail starts at this value modulo the window size.
+    win_next_tail: list[int]
+    win_completed: list[int]          # absolute CQEs seen per window
+    #: windows released with commands still outstanding: window index
+    #: -> the absolute completion count at which the window becomes
+    #: reusable.  A draining window is NOT free — handing it out early
+    #: would let the successor receive the predecessor's completions
+    #: and overwrite its unfetched SQEs.
+    draining: dict[int, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def nwindows(self) -> int:
+        return len(self.tenants)
+
+    @property
+    def tenant_count(self) -> int:
+        return sum(1 for ten in self.tenants if ten is not None)
+
+    @property
+    def free_windows(self) -> int:
+        return sum(1 for i, ten in enumerate(self.tenants)
+                   if ten is None and i not in self.draining)
+
+    def free_window_index(self) -> int | None:
+        for i, ten in enumerate(self.tenants):
+            if ten is None and i not in self.draining:
+                return i
+        return None
+
+    def tenant_bitmap(self) -> int:
+        bitmap = 0
+        for i, ten in enumerate(self.tenants):
+            if ten is not None:
+                bitmap |= 1 << i
+        return bitmap
+
+
 class NvmeManager:
     """Owns the admin queues of one shared controller."""
 
     METADATA_SEGMENT_ID_BASE = 0x4D00
+    # Shared queue memory lives on the *manager's* node so co-tenants
+    # never depend on each other's hosts (docs/queue_sharing.md); one
+    # id per (device, qid).
+    SHARED_SQ_SEGMENT_ID_BASE = 0x5100
+    SHARED_CQ_SEGMENT_ID_BASE = 0x5900
 
     def __init__(self, sim: Simulator, smartio: SmartIoService,
                  node: SisciNode, device_id: int,
@@ -52,8 +124,11 @@ class NvmeManager:
         self.admin: AdminQueues | None = None
         self.metadata_segment: LocalSegment | None = None
         self._ref = None
+        self._bar: int | None = None
         self._free_qids: list[int] = []
         self._client_qids: dict[int, list[int]] = {}   # slot -> qids
+        self._shared_qps: dict[int, _SharedQp] = {}    # qid -> state
+        self._slot_share: dict[int, tuple[int, int]] = {}  # slot -> (qid, win)
         self._running = False
         # AdminQueues.submit is one-command-at-a-time; the mailbox
         # worker and the lease watchdog serialise through this lock.
@@ -63,6 +138,9 @@ class NvmeManager:
         self.telemetry = NULL_TELEMETRY
         self.rpcs_served = 0
         self.leases_reclaimed = 0
+        self.admission_rejections = 0
+        self.cqes_forwarded = 0
+        self.cqes_orphaned = 0
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -71,7 +149,7 @@ class NvmeManager:
         # Lock the device while resetting/initialising it.
         self._ref = self.smartio.acquire(self.device_id, self.node,
                                          exclusive=True)
-        bar = self._ref.map_bar(0)
+        self._bar = bar = self._ref.map_bar(0)
 
         # Admin queue memory lives on the manager's host.  When the
         # manager runs somewhere other than the device's host, back the
@@ -154,9 +232,20 @@ class NvmeManager:
         served_at = self.sim.now
         rpc_status = meta.RPC_OK
         qid = 0
+        extra: dict[str, int] = {}
         if req["op"] == meta.OP_CREATE_QP:
-            if not self._free_qids:
-                rpc_status = meta.RPC_NO_QUEUES
+            if req["flags"] & meta.FLAG_SHARED:
+                rpc_status, qid, extra = yield from self._admit_shared(
+                    slot, req)
+            elif not self._private_available():
+                # Private-first admission: once only the shared reserve
+                # is left, redirect the client to retry with
+                # FLAG_SHARED instead of refusing outright.
+                if self.config.sharing.enabled:
+                    rpc_status = meta.RPC_USE_SHARED
+                else:
+                    rpc_status = meta.RPC_NO_QUEUES
+                    self.admission_rejections += 1
             elif req["entries"] < 2 or not req["sq_addr"] \
                     or not req["cq_addr"]:
                 rpc_status = meta.RPC_BAD_REQUEST
@@ -190,8 +279,14 @@ class NvmeManager:
                 finally:
                     self._admin_lock.release(lock)
         elif req["op"] == meta.OP_DELETE_QP:
+            share = self._slot_share.get(slot)
             owned = self._client_qids.get(slot, [])
-            if req["qid"] not in owned:
+            if share is not None and share[0] == req["qid"]:
+                # Shared tenant leaving: free only its window — the QP
+                # and its co-tenants are untouched.
+                self._release_window(slot)
+                qid = req["qid"]
+            elif req["qid"] not in owned:
                 rpc_status = meta.RPC_BAD_REQUEST
             else:
                 lock = self._admin_lock.request()
@@ -210,7 +305,7 @@ class NvmeManager:
         self.metadata_segment.write(
             meta.slot_offset(slot),
             meta.pack_slot(meta.SLOT_RESPONSE, op=req["op"], qid=qid,
-                           rpc_status=rpc_status))
+                           rpc_status=rpc_status, **extra))
         tele = self.telemetry
         if tele.enabled:
             op_name = {meta.OP_CREATE_QP: "create-qp",
@@ -219,6 +314,240 @@ class NvmeManager:
             tele.metrics.observe(
                 "repro_manager_rpc_latency_ns", self.sim.now - served_at,
                 help="admin mailbox RPC service time", op=op_name)
+
+    # -- shared queue pairs (docs/queue_sharing.md) ----------------------------
+
+    def _private_available(self) -> bool:
+        """Private-first policy: hand out private QPs while the free
+        pool stays above the qids reserved for future shared QPs."""
+        sharing = self.config.sharing
+        if not sharing.enabled:
+            return bool(self._free_qids)
+        reserve = max(0, sharing.reserved_qps - len(self._shared_qps))
+        return len(self._free_qids) > reserve
+
+    def _admit_shared(self, slot: int, req: dict) -> t.Generator:
+        """Place one tenant onto a shared QP.
+
+        The window is *reserved first* and rolled back if any later
+        step fails — a rejected admission (RPC_NO_QUEUES) must leave no
+        partially reserved window behind, and every rejection is
+        counted for the metrics registry.
+        """
+        sharing = self.config.sharing
+        if (not sharing.enabled or req["entries"] < 2
+                or not req["share_seg"] or slot in self._slot_share):
+            return meta.RPC_BAD_REQUEST, 0, {}
+        qp = self._pick_shared_qp()
+        if qp is None:
+            qp = yield from self._create_shared_qp()
+            if qp is None:
+                self.admission_rejections += 1
+                return meta.RPC_NO_QUEUES, 0, {}
+        widx = qp.free_window_index()
+        assert widx is not None        # _pick/_create guarantee one
+        qp.tenants[widx] = _SharedTenant(slot=slot, mailbox=None,
+                                         ring=None)   # reserve the window
+        try:
+            mailbox = self.node.connect_segment(req["share_node"],
+                                                req["share_seg"])
+        except SisciError:
+            qp.tenants[widx] = None     # roll back the reservation
+            self.admission_rejections += 1
+            return meta.RPC_NO_QUEUES, 0, {}
+        qp.tenants[widx] = _SharedTenant(
+            slot=slot, mailbox=mailbox,
+            ring=CompletionQueueState(qid=qp.qid, base_addr=0,
+                                      entries=req["entries"]))
+        win_tail = qp.win_next_tail[widx]
+        seg = self.metadata_segment
+        assert seg is not None
+        seg.write(meta.share_offset(qp.qid),
+                  meta.pack_share(qp.qid, qp.nwindows, qp.win_entries,
+                                  qp.tenant_bitmap()))
+        seg.write(meta.shadow_offset(qp.qid, widx),
+                  win_tail.to_bytes(meta.SHADOW_SIZE, "little"))
+        self._slot_share[slot] = (qp.qid, widx)
+        self.tracer.emit("manager", "shared-admit", slot=slot,
+                         qid=qp.qid, window=widx)
+        extra = {"tenant": widx, "win_start": widx * qp.win_entries,
+                 "win_len": qp.win_entries,
+                 "share_node": qp.sq_seg.id.node_id,
+                 "share_seg": qp.sq_seg.id.segment_id,
+                 "win_tail": win_tail}
+        return meta.RPC_OK, qp.qid, extra
+
+    def _pick_shared_qp(self) -> _SharedQp | None:
+        """Least-loaded existing shared QP with a free window (lowest
+        qid breaks ties, so placement is deterministic)."""
+        best = None
+        for qid in sorted(self._shared_qps):
+            qp = self._shared_qps[qid]
+            if qp.free_windows == 0:
+                continue
+            if best is None or qp.tenant_count < best.tenant_count:
+                best = qp
+        return best
+
+    def _create_shared_qp(self) -> t.Generator:
+        """Create one shared (windowed) QP on a reserved qid, hosted in
+        the manager's own memory; None when capacity is exhausted."""
+        assert self.admin is not None and self._ref is not None
+        sharing = self.config.sharing
+        if len(self._shared_qps) >= sharing.reserved_qps \
+                or not self._free_qids:
+            return None
+        win = sharing.window_entries
+        entries = min(sharing.sq_entries,
+                      self.config.nvme.max_queue_entries)
+        nwin = min(entries // win, meta.MAX_TENANTS)
+        if nwin < 1:
+            return None
+        entries = nwin * win
+        qid = self._free_qids.pop(0)
+        base = self.device_id * 0x40
+        sq_seg = self.node.create_segment(
+            self.SHARED_SQ_SEGMENT_ID_BASE + base + qid, entries * 64)
+        cq_seg = self.node.create_segment(
+            self.SHARED_CQ_SEGMENT_ID_BASE + base + qid, entries * 16)
+        sq_seg.set_available()
+        cq_seg.set_available()
+        sq_dev = self._ref.map_segment_for_device(sq_seg)
+        cq_dev = self._ref.map_segment_for_device(cq_seg)
+        lock = self._admin_lock.request()
+        yield lock
+        try:
+            cq_created = False
+            try:
+                yield from self.admin.create_io_cq(qid, entries, cq_dev)
+                cq_created = True
+                yield from self.admin.create_io_sq(
+                    qid, entries, sq_dev, cqid=qid, shared=True,
+                    window_entries=win)
+            except AdminError:
+                # Roll back completely: half-created CQ, DMA windows,
+                # segments and the qid all return to their pools.
+                if cq_created:
+                    try:
+                        yield from self.admin.delete_io_cq(qid)
+                    except AdminError:
+                        pass   # controller lost it already
+                self._ref.unmap_segment_for_device(sq_dev)
+                self._ref.unmap_segment_for_device(cq_dev)
+                sq_seg.remove()
+                cq_seg.remove()
+                self._free_qids.append(qid)
+                return None
+        finally:
+            self._admin_lock.release(lock)
+        qp = _SharedQp(
+            qid=qid, sq_seg=sq_seg, cq_seg=cq_seg, entries=entries,
+            win_entries=win,
+            cq=CompletionQueueState(qid=qid, base_addr=cq_seg.phys_addr,
+                                    entries=entries),
+            tenants=[None] * nwin, win_next_tail=[0] * nwin,
+            win_completed=[0] * nwin)
+        self._shared_qps[qid] = qp
+        self.sim.process(self._shared_demux(qp))
+        self.tracer.emit("manager", "shared-qp-created", qid=qid,
+                         windows=nwin)
+        return qp
+
+    def _release_window(self, slot: int) -> None:
+        """Free one tenant's window of a shared QP — and nothing else.
+
+        The QP and its co-tenants keep running; the departing tenant's
+        doorbell shadow (local memory, posted by the tenant after every
+        ring) becomes the ring-position handoff for whoever is admitted
+        into this window next."""
+        qid, widx = self._slot_share.pop(slot)
+        qp = self._shared_qps[qid]
+        ten = qp.tenants[widx]
+        seg = self.metadata_segment
+        assert seg is not None
+        shadow = int.from_bytes(
+            seg.read(meta.shadow_offset(qid, widx), meta.SHADOW_SIZE),
+            "little")
+        qp.win_next_tail[widx] = shadow
+        if ten is not None and ten.mailbox is not None:
+            ten.mailbox.disconnect()
+        qp.tenants[widx] = None
+        if qp.win_completed[widx] < shadow:
+            # Commands are still outstanding in the window: quarantine
+            # it until the absolute completion count (counted over the
+            # CQEs we drop as orphans) catches up with the departed
+            # tenant's absolute submission count.
+            qp.draining[widx] = shadow
+        seg.write(meta.share_offset(qid),
+                  meta.pack_share(qid, qp.nwindows, qp.win_entries,
+                                  qp.tenant_bitmap()))
+        self.tracer.emit("manager", "window-released", slot=slot,
+                         qid=qid, window=widx)
+
+    def _shared_demux(self, qp: _SharedQp) -> t.Generator:
+        """Poll a shared CQ (manager-local memory) and forward each CQE
+        to the issuing tenant's completion mailbox.
+
+        The CID's tenant bits route the entry; the forwarded copy is
+        re-phased for the tenant's mailbox ring and pushed with a
+        posted write, keeping the completion path one-way end to end.
+        CQEs of reclaimed tenants are dropped and counted — their
+        window may already belong to a successor, whose CID sequence
+        space is its own, so no misdelivery is possible.
+        """
+        sim = self.sim
+        mem = self.node.host.memory
+        read = mem.read
+        cq = qp.cq
+        base = qp.cq_seg.phys_addr
+        unpack = CompletionEntry.unpack
+        poll_ns = self.config.host.poll_interval_ns
+        poll_gen = (sim.rng.stream(f"qp-demux:{self.device_id}:{qp.qid}")
+                    if poll_ns else None)
+        wp = mem.watch(base, cq.entries * 16)
+        wait = wp.signal.wait
+        try:
+            while self._running:
+                drained = 0
+                while True:
+                    raw = read(base + cq.head * 16, 16)
+                    if raw[14] & 1 != cq.phase:
+                        break
+                    cq.consume()
+                    self._forward_cqe(qp, unpack(raw))
+                    drained += 1
+                if drained:
+                    assert self._bar is not None
+                    self.node.fabric.post_write(
+                        self.node.host.rc, self.node.host,
+                        self._bar + cq_doorbell_offset(qp.qid),
+                        cq.head.to_bytes(4, "little"))
+                    continue    # re-check before sleeping
+                yield wait()
+                if poll_ns:
+                    delay = int(poll_gen.integers(0, poll_ns + 1))
+                    if delay:
+                        yield sim.sleep(delay)
+        finally:
+            mem.unwatch(wp)
+
+    def _forward_cqe(self, qp: _SharedQp, cqe: CompletionEntry) -> None:
+        widx = meta.cid_tenant(cqe.cid)
+        if widx >= len(qp.tenants):
+            self.cqes_orphaned += 1
+            return
+        qp.win_completed[widx] += 1
+        if (widx in qp.draining
+                and qp.win_completed[widx] >= qp.draining[widx]):
+            del qp.draining[widx]      # quarantined window now empty
+        ten = qp.tenants[widx]
+        if ten is None or ten.mailbox is None or ten.ring is None:
+            self.cqes_orphaned += 1
+            return
+        slot, phase = ten.ring.produce_slot()
+        cqe.phase = phase
+        ten.mailbox.write(slot * 16, cqe.pack())
+        self.cqes_forwarded += 1
 
     # -- liveness leases -----------------------------------------------------------
 
@@ -237,8 +566,10 @@ class NvmeManager:
         while self._running:
             yield self.sim.timeout(rel.lease_check_interval_ns)
             now = self.sim.now
-            for slot in sorted(self._client_qids):
-                if not self._client_qids.get(slot):
+            for slot in sorted(set(self._client_qids)
+                               | set(self._slot_share)):
+                if not self._client_qids.get(slot) \
+                        and slot not in self._slot_share:
                     continue
                 hb = int.from_bytes(
                     seg.read(meta.heartbeat_offset(slot),
@@ -253,10 +584,17 @@ class NvmeManager:
                     yield from self._reclaim(slot)
 
     def _reclaim(self, slot: int) -> t.Generator:
-        """Delete a dead client's queue pairs and free its slot."""
+        """Delete a dead client's queue pairs and free its slot.
+
+        A shared tenant's death frees only its window: the shared QP
+        keeps serving co-tenants, whose in-flight I/O is never touched
+        (lease-aware reclaim, docs/queue_sharing.md)."""
         assert self.admin is not None and self.metadata_segment is not None
         owned = self._client_qids.pop(slot, [])
         self._hb_seen.pop(slot, None)
+        shared = slot in self._slot_share
+        if shared:
+            self._release_window(slot)
         lock = self._admin_lock.request()
         yield lock
         try:
@@ -277,8 +615,14 @@ class NvmeManager:
                                     bytes(meta.HEARTBEAT_SIZE))
         self.leases_reclaimed += 1
         self.tracer.emit("recovery", "lease-reclaim", slot=slot,
-                         qids=len(owned))
+                         qids=len(owned) + (1 if shared else 0))
 
     @property
     def queues_in_use(self) -> int:
-        return sum(len(v) for v in self._client_qids.values())
+        return (sum(len(v) for v in self._client_qids.values())
+                + len(self._shared_qps))
+
+    @property
+    def shared_qps(self) -> dict[int, _SharedQp]:
+        """Read-only view of the shared QPs (telemetry, tests)."""
+        return self._shared_qps

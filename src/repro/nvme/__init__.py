@@ -7,7 +7,8 @@ from .controller import NvmeController
 from .media import Media, NandMedia, OptaneMedia, NAND_CONFIG
 from .namespace import Namespace, NamespaceError
 from .prp import PrpDescriptor, PrpError, build_prps, page_segments, resolve_prps
-from .queues import CompletionQueueState, QueueError, SubmissionQueueState
+from .queues import (CompletionQueueState, QueueError, SqWindowState,
+                     SubmissionQueueState)
 from .registers import (RegisterFile, build_cap, cq_doorbell_offset,
                         doorbell_index, sq_doorbell_offset,
                         MSIX_TABLE_OFFSET, MSIX_ENTRY_SIZE, MSIX_VECTORS)
@@ -22,7 +23,8 @@ __all__ = [
     "Namespace", "NamespaceError",
     "PrpDescriptor", "PrpError", "build_prps", "page_segments",
     "resolve_prps",
-    "SubmissionQueueState", "CompletionQueueState", "QueueError",
+    "SubmissionQueueState", "CompletionQueueState", "SqWindowState",
+    "QueueError",
     "RegisterFile", "build_cap", "doorbell_index", "sq_doorbell_offset",
     "cq_doorbell_offset", "MSIX_TABLE_OFFSET", "MSIX_ENTRY_SIZE",
     "MSIX_VECTORS",

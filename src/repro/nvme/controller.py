@@ -37,7 +37,8 @@ from .constants import (CC_EN, CSTS_RDY, CSTS_SHST_COMPLETE, DOORBELL_BASE,
 from .media import Media, OptaneMedia
 from .namespace import Namespace, NamespaceError
 from .prp import PrpError, resolve_prps
-from .queues import CompletionQueueState, SubmissionQueueState
+from .queues import (MAX_SQ_WINDOWS, CompletionQueueState, SqWindowState,
+                     SubmissionQueueState)
 from .registers import (MSIX_ENTRY_SIZE, MSIX_TABLE_OFFSET, MSIX_VECTORS,
                         RegisterFile, doorbell_index)
 from .structs import CompletionEntry, IdentifyController, SubmissionEntry
@@ -49,6 +50,10 @@ class _ControllerSq:
     db_tail: int = 0
     active: bool = True
     signal: Signal | None = None
+    #: vendor extension (docs/queue_sharing.md): a *shared* SQ is split
+    #: into per-tenant windows, each a sub-ring with its own doorbell
+    #: tail; None for a conventional SQ.
+    windows: list[SqWindowState] | None = None
 
 
 @dataclasses.dataclass(slots=True)
@@ -212,10 +217,26 @@ class NvmeController(PCIeFunction):
             if sq is None or not sq.active:
                 self.bad_doorbells += 1
                 return
-            if value >= sq.state.entries:
+            if sq.windows is not None:
+                # Shared SQ: the doorbell value encodes the tenant's
+                # window index in the high half and the new window-
+                # relative tail in the low half.
+                widx, wtail = value >> 16, value & 0xFFFF
+                if widx >= len(sq.windows):
+                    self.bad_doorbells += 1
+                    return
+                win = sq.windows[widx]
+                if wtail >= win.entries:
+                    self.bad_doorbells += 1
+                    return
+                if win.is_empty() and wtail != win.db_tail:
+                    win.ready_at = self.sim.now
+                win.db_tail = wtail
+            elif value >= sq.state.entries:
                 self.bad_doorbells += 1
                 return
-            sq.db_tail = value
+            else:
+                sq.db_tail = value
             assert sq.signal is not None
             sq.signal.fire()
         if self._trace:
@@ -296,6 +317,75 @@ class NvmeController(PCIeFunction):
                 sim.process(self._execute_admin(sq, sqe))
             else:
                 sim.process(self._execute_io(sq, sqe))
+
+    def _shared_sq_worker(self, sq: _ControllerSq) -> t.Generator:
+        """Fetch-and-dispatch loop for a *shared* (windowed) SQ.
+
+        Round-robin arbitration across tenant windows: each grant
+        services exactly one SQE from the next non-empty window after
+        the previous winner, so no tenant can starve a neighbour no
+        matter how deep its backlog (docs/queue_sharing.md).
+        """
+        # hot-path
+        cfg = self.config
+        sim = self.sim
+        state = sq.state
+        windows = sq.windows
+        unpack = SubmissionEntry.unpack
+        decode_ns = cfg.command_decode_ns
+        assert sq.signal is not None and windows is not None
+        nwin = len(windows)
+        rr = 0
+        while sq.active:
+            if self.faults is not None:
+                yield from self.faults.stall_barrier(self.fault_point)
+                if not sq.active:
+                    return
+            win = None
+            for off in range(nwin):
+                cand = windows[(rr + off) % nwin]
+                if not cand.is_empty():
+                    win = cand
+                    rr = (rr + off + 1) % nwin
+                    break
+            if win is None:
+                yield sq.signal.wait()
+                if not sq.active:
+                    return
+                yield sim.sleep(cfg.doorbell_to_fetch_ns)
+                continue
+            granted_at = sim.now
+            try:
+                raw = yield from self.dma_read(win.slot_addr(state.base_addr),
+                                               SQE_SIZE)
+            except FabricFaultError:
+                # Same retry discipline as the private path: the window
+                # head is not advanced, so the same slot is re-fetched.
+                self.fetch_retries += 1
+                yield sim.sleep(cfg.doorbell_to_fetch_ns)
+                continue
+            win.advance_head()
+            wait_ns = granted_at - win.ready_at
+            # The next entry (if any) has been waiting since this grant.
+            win.ready_at = granted_at
+            self.fetches += 1
+            sqe = unpack(raw)
+            yield sim.sleep(decode_ns)
+            tele = self.telemetry
+            if tele.enabled:
+                tele.metrics.observe(
+                    "repro_nvme_arb_wait_ns", wait_ns,
+                    help="time an SQE head waited for shared-SQ "
+                    "arbitration before its fetch was granted",
+                    ctrl=self.name, qid=state.qid)
+                tele.spans.mark_cmd(state.qid, sqe.cid, "arb-granted",
+                                    granted_at)
+            self._span_mark(sq, sqe, "fetched")
+            if self._trace:
+                self.tracer.emit("nvme", "fetched", qid=state.qid,
+                                 opcode=sqe.opcode, cid=sqe.cid,
+                                 window=win.index)
+            sim.process(self._execute_io(sq, sqe, win=win))
 
     # --------------------------------------------------------------- admin
 
@@ -384,6 +474,7 @@ class NvmeController(PCIeFunction):
         qid = sqe.cdw10 & 0xFFFF
         entries = ((sqe.cdw10 >> 16) & 0xFFFF) + 1
         contiguous = sqe.cdw11 & 1
+        shared = bool(sqe.cdw11 & 8)   # vendor ext: windowed shared SQ
         cqid = (sqe.cdw11 >> 16) & 0xFFFF
         if not contiguous or sqe.prp1 == 0:
             return Status.INVALID_FIELD
@@ -396,8 +487,19 @@ class NvmeController(PCIeFunction):
         sq = _ControllerSq(SubmissionQueueState(
             qid=qid, base_addr=sqe.prp1, entries=entries, cqid=cqid))
         sq.signal = Signal(self.sim)
+        if shared:
+            win_entries = sqe.cdw12 & 0xFFFF
+            if (win_entries < 2 or entries % win_entries
+                    or entries // win_entries > MAX_SQ_WINDOWS):
+                return Status.INVALID_FIELD
+            sq.windows = [SqWindowState(index=i, start=i * win_entries,
+                                        entries=win_entries)
+                          for i in range(entries // win_entries)]
         self.sqs[qid] = sq
-        self.sim.process(self._sq_worker(sq))
+        if shared:
+            self.sim.process(self._shared_sq_worker(sq))
+        else:
+            self.sim.process(self._sq_worker(sq))
         return Status.SUCCESS
 
     def _admin_delete_sq(self, sqe: SubmissionEntry) -> int:
@@ -430,24 +532,28 @@ class NvmeController(PCIeFunction):
 
     # ------------------------------------------------------------------- I/O
 
-    def _execute_io(self, sq: _ControllerSq, sqe: SubmissionEntry):
+    def _execute_io(self, sq: _ControllerSq, sqe: SubmissionEntry,
+                    win: SqWindowState | None = None):
         if self.faults is not None and self.faults.command_aborted(
                 self.sim.rng, self.fault_point):
-            yield from self._complete(sq, sqe, Status.ABORTED_BY_REQUEST, 0)
+            yield from self._complete(sq, sqe, Status.ABORTED_BY_REQUEST, 0,
+                                      win=win)
             return
         try:
             opcode = IoOpcode(sqe.opcode)
         except ValueError:
-            yield from self._complete(sq, sqe, Status.INVALID_OPCODE, 0)
+            yield from self._complete(sq, sqe, Status.INVALID_OPCODE, 0,
+                                      win=win)
             return
         ns = self.namespaces.get(sqe.nsid)
         if ns is None:
-            yield from self._complete(sq, sqe, Status.INVALID_FIELD, 0)
+            yield from self._complete(sq, sqe, Status.INVALID_FIELD, 0,
+                                      win=win)
             return
 
         if opcode == IoOpcode.FLUSH:
             yield from self._media_access("flush", 0, sq, sqe)
-            yield from self._complete(sq, sqe, Status.SUCCESS, 0)
+            yield from self._complete(sq, sqe, Status.SUCCESS, 0, win=win)
             return
 
         nblocks = sqe.nlb + 1
@@ -455,27 +561,31 @@ class NvmeController(PCIeFunction):
         try:
             ns.check_range(sqe.slba, nblocks)
         except NamespaceError:
-            yield from self._complete(sq, sqe, Status.LBA_OUT_OF_RANGE, 0)
+            yield from self._complete(sq, sqe, Status.LBA_OUT_OF_RANGE, 0,
+                                      win=win)
             return
 
         if opcode == IoOpcode.WRITE_ZEROES:
             # No data transfer: the controller zeroes the range itself.
             ok = yield from self._media_access("write", nbytes, sq, sqe)
             if not ok:
-                yield from self._complete(sq, sqe, Status.WRITE_FAULT, 0)
+                yield from self._complete(sq, sqe, Status.WRITE_FAULT, 0,
+                                          win=win)
                 return
             ns.write_blocks(sqe.slba, bytes(nbytes))
-            yield from self._complete(sq, sqe, Status.SUCCESS, 0)
+            yield from self._complete(sq, sqe, Status.SUCCESS, 0, win=win)
             return
 
         try:
             segs = yield from resolve_prps(sqe.prp1, sqe.prp2, nbytes,
                                            self._read_prp_page)
         except PrpError:
-            yield from self._complete(sq, sqe, Status.INVALID_FIELD, 0)
+            yield from self._complete(sq, sqe, Status.INVALID_FIELD, 0,
+                                      win=win)
             return
         except FabricFaultError:
-            yield from self._complete(sq, sqe, Status.DATA_TRANSFER_ERROR, 0)
+            yield from self._complete(sq, sqe, Status.DATA_TRANSFER_ERROR, 0,
+                                      win=win)
             return
 
         if opcode == IoOpcode.READ:
@@ -483,7 +593,8 @@ class NvmeController(PCIeFunction):
             ok = yield from self._media_access("read", nbytes, sq, sqe)
             if not ok:
                 yield from self._complete(sq, sqe,
-                                          Status.UNRECOVERED_READ_ERROR, 0)
+                                          Status.UNRECOVERED_READ_ERROR, 0,
+                                          win=win)
                 return
             data = ns.read_blocks(sqe.slba, nblocks)
             offset = 0
@@ -493,7 +604,7 @@ class NvmeController(PCIeFunction):
                 self.fabric.post_write(self.node, self.host, addr,
                                        data[offset: offset + size])
                 offset += size
-            yield from self._complete(sq, sqe, Status.SUCCESS, 0)
+            yield from self._complete(sq, sqe, Status.SUCCESS, 0, win=win)
         elif opcode == IoOpcode.COMPARE:
             # Fetch the host's reference data, read the medium, compare.
             parts = []
@@ -503,17 +614,19 @@ class NvmeController(PCIeFunction):
                     parts.append(part)
             except FabricFaultError:
                 yield from self._complete(sq, sqe,
-                                          Status.DATA_TRANSFER_ERROR, 0)
+                                          Status.DATA_TRANSFER_ERROR, 0,
+                                          win=win)
                 return
             ok = yield from self._media_access("read", nbytes, sq, sqe)
             if not ok:
                 yield from self._complete(sq, sqe,
-                                          Status.UNRECOVERED_READ_ERROR, 0)
+                                          Status.UNRECOVERED_READ_ERROR, 0,
+                                          win=win)
                 return
             stored = ns.read_blocks(sqe.slba, nblocks)
             status = (Status.SUCCESS if b"".join(parts) == stored
                       else Status.COMPARE_FAILURE)
-            yield from self._complete(sq, sqe, status, 0)
+            yield from self._complete(sq, sqe, status, 0, win=win)
         else:  # WRITE
             # Fetch data from host buffers (non-posted reads), then media.
             parts = []
@@ -523,14 +636,16 @@ class NvmeController(PCIeFunction):
                     parts.append(part)
             except FabricFaultError:
                 yield from self._complete(sq, sqe,
-                                          Status.DATA_TRANSFER_ERROR, 0)
+                                          Status.DATA_TRANSFER_ERROR, 0,
+                                          win=win)
                 return
             ok = yield from self._media_access("write", nbytes, sq, sqe)
             if not ok:
-                yield from self._complete(sq, sqe, Status.WRITE_FAULT, 0)
+                yield from self._complete(sq, sqe, Status.WRITE_FAULT, 0,
+                                          win=win)
                 return
             ns.write_blocks(sqe.slba, b"".join(parts))
-            yield from self._complete(sq, sqe, Status.SUCCESS, 0)
+            yield from self._complete(sq, sqe, Status.SUCCESS, 0, win=win)
 
     def _read_prp_page(self, addr: int):
         data = yield from self.dma_read(addr, PAGE_SIZE)
@@ -539,14 +654,18 @@ class NvmeController(PCIeFunction):
     # ------------------------------------------------------------ completion
 
     def _complete(self, sq: _ControllerSq, sqe: SubmissionEntry,
-                  status: int, result: int):
+                  status: int, result: int,
+                  win: SqWindowState | None = None):
         # hot-path
         cq = self.cqs.get(sq.state.cqid)
         if cq is None or not cq.active:
             return  # queue torn down under us; drop, as hardware would
         yield self.sim.sleep(self.config.completion_overhead_ns)
         slot, phase = cq.state.produce_slot()
-        cqe = CompletionEntry(result=result, sq_head=sq.state.head,
+        # On a shared SQ the head reported back is *window-relative*, so
+        # each tenant reclaims only its own sub-ring's slots.
+        sq_head = sq.state.head if win is None else win.head
+        cqe = CompletionEntry(result=result, sq_head=sq_head,
                               sq_id=sq.state.qid, cid=sqe.cid,
                               status=int(status), phase=phase)
         # CQE write is posted; we wait for delivery only to order the

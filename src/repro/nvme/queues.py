@@ -70,6 +70,51 @@ class SubmissionQueueState:
         return slot
 
 
+#: Hard cap on windows per shared SQ — matches the 4 tenant bits carved
+#: out of the 16-bit CID space (driver.metadata.MAX_TENANTS).
+MAX_SQ_WINDOWS = 16
+
+
+@dataclasses.dataclass(slots=True)
+class SqWindowState:
+    """Controller-side view of one tenant's slot window in a *shared* SQ.
+
+    A shared SQ (docs/queue_sharing.md) partitions one ring into fixed
+    windows; each window is an independent sub-ring with its own
+    producer tail (rung through a tenant-encoded doorbell value) and
+    consumer head.  ``start`` is the window's first slot in the parent
+    ring; ``head``/``db_tail`` are window-relative.
+    """
+
+    index: int              # window (== tenant) index within the SQ
+    start: int              # first parent-ring slot of this window
+    entries: int
+    head: int = 0           # consumer index (controller side)
+    db_tail: int = 0        # producer tail from the tenant's doorbell
+    ready_at: int = 0       # sim time the head entry became fetchable
+
+    def __post_init__(self) -> None:
+        if self.entries < 2:
+            raise QueueError("window must have at least 2 entries")
+
+    def is_empty(self) -> bool:
+        return self.head == self.db_tail
+
+    def occupancy(self) -> int:
+        return (self.db_tail - self.head) % self.entries
+
+    def slot_addr(self, base_addr: int) -> int:
+        """Parent-ring address of the current head entry."""
+        return base_addr + (self.start + self.head) * SQE_SIZE
+
+    def advance_head(self) -> int:
+        if self.is_empty():
+            raise QueueError(f"window {self.index} underflow")
+        slot = self.head
+        self.head = (self.head + 1) % self.entries
+        return slot
+
+
 @dataclasses.dataclass(slots=True)
 class CompletionQueueState:
     """Driver- or controller-side view of one CQ ring.

@@ -2,7 +2,8 @@
 
 from .builders import (FIG10_SCENARIOS, MultiHostScenario, Scenario,
                        build_fig10_scenario, local_linux, multihost,
-                       nvmeof_remote, ours_local, ours_remote)
+                       nvmeof_remote, ours_local, ours_remote,
+                       scale_out_cluster)
 from .chaos import CHAOS_RELIABILITY, ChaosScenario, chaos_cluster
 from .testbed import LocalTestbed, PcieTestbed, RdmaTestbed
 
@@ -10,6 +11,6 @@ __all__ = [
     "PcieTestbed", "LocalTestbed", "RdmaTestbed",
     "Scenario", "MultiHostScenario", "FIG10_SCENARIOS",
     "build_fig10_scenario", "local_linux", "nvmeof_remote",
-    "ours_local", "ours_remote", "multihost",
+    "ours_local", "ours_remote", "multihost", "scale_out_cluster",
     "ChaosScenario", "chaos_cluster", "CHAOS_RELIABILITY",
 ]

@@ -156,27 +156,43 @@ class MultiHostScenario:
     clients: list[DistributedNvmeClient]
     manager: NvmeManager
     testbed: PcieTestbed
+    telemetry: Telemetry | None = None
 
 
 def multihost(n_clients: int, config: SimulationConfig | None = None,
               seed: int | None = None, queue_depth: int = 16,
-              include_device_host: bool = False) -> MultiHostScenario:
+              include_device_host: bool = False,
+              sharing: str = "auto",
+              telemetry: bool = False) -> MultiHostScenario:
     """N clients sharing the single-function controller in host0.
 
     With ``include_device_host`` the device's own host also runs a
     client (the paper's sharing is symmetric); otherwise all clients
-    are remote.
+    are remote.  With QP sharing enabled (the default) the client
+    count may exceed the controller's 31 queue pairs, up to
+    ``config.sharing.capacity(31)``; overflow clients become tenants
+    of manager-hosted shared queue pairs (docs/queue_sharing.md).
     """
-    nvme_cfg = (config or SimulationConfig()).nvme
-    limit = nvme_cfg.max_queue_pairs - 1
-    if n_clients > limit:
-        raise ValueError(f"controller supports {limit} I/O queue pairs")
+    cfg = config or SimulationConfig()
+    limit = cfg.nvme.max_queue_pairs - 1
+    cap = cfg.sharing.capacity(limit) if sharing != "never" else limit
+    if n_clients > cap:
+        raise ValueError(
+            f"cluster admits at most {cap} clients "
+            f"({limit} I/O queue pairs, sharing "
+            f"{'on' if cap > limit else 'off'})")
     first = 0 if include_device_host else 1
     n_hosts = first + n_clients
-    bed = PcieTestbed(config=config, n_hosts=max(2, n_hosts),
+    bed = PcieTestbed(config=cfg, n_hosts=max(2, n_hosts),
                       with_nvme=True, seed=seed)
+    tele = None
+    if telemetry:
+        tele = Telemetry(bed.sim).attach(fabric=bed.fabric,
+                                         controllers=[bed.nvme])
     manager = NvmeManager(bed.sim, bed.smartio, bed.node(0),
                           bed.nvme_device_id, bed.config)
+    if tele is not None:
+        tele.attach(managers=[manager])
     bed.sim.run(until=bed.sim.process(manager.start()))
     clients = []
     for i in range(n_clients):
@@ -184,7 +200,42 @@ def multihost(n_clients: int, config: SimulationConfig | None = None,
         client = DistributedNvmeClient(
             bed.sim, bed.smartio, bed.node(host_index),
             bed.nvme_device_id, bed.config, queue_depth=queue_depth,
-            slot_index=i, name=f"host{host_index}-nvme")
+            sharing=sharing, slot_index=i,
+            name=f"host{host_index}-nvme")
+        if tele is not None:
+            tele.attach(clients=[client])
         bed.sim.run(until=bed.sim.process(client.start()))
         clients.append(client)
-    return MultiHostScenario(bed.sim, clients, manager, bed)
+    return MultiHostScenario(bed.sim, clients, manager, bed,
+                             telemetry=tele)
+
+
+def scale_out_cluster(n_clients: int = 64,
+                      config: SimulationConfig | None = None,
+                      seed: int | None = None, queue_depth: int = 16,
+                      telemetry: bool = False) -> MultiHostScenario:
+    """A beyond-31-hosts cluster exercising shared queue pairs.
+
+    The default 64 clients need 33 more seats than the controller has
+    queue pairs; the builder widens the shared-QP reserve so capacity
+    covers ``n_clients`` and lets admission place the overflow."""
+    cfg = config or SimulationConfig()
+    limit = cfg.nvme.max_queue_pairs - 1
+    share = cfg.sharing
+    if not share.enabled:
+        raise ValueError("scale_out_cluster requires sharing.enabled")
+    reserve = share.reserved_qps
+    while (reserve < limit
+           and dataclasses.replace(
+               share, reserved_qps=reserve).capacity(limit) < n_clients):
+        reserve += 1
+    if dataclasses.replace(
+            share, reserved_qps=reserve).capacity(limit) < n_clients:
+        raise ValueError(
+            f"{n_clients} clients exceed even a fully shared "
+            f"controller ({limit} QPs x {share.windows_per_qp} windows)")
+    if reserve != share.reserved_qps:
+        cfg = dataclasses.replace(
+            cfg, sharing=dataclasses.replace(share, reserved_qps=reserve))
+    return multihost(n_clients, config=cfg, seed=seed,
+                     queue_depth=queue_depth, telemetry=telemetry)

@@ -83,6 +83,7 @@ def chaos_cluster(n_clients: int = 4,
                   reliability: ReliabilityConfig | None = None,
                   trace_categories: t.Collection[str] | None = None,
                   telemetry: bool = False,
+                  sharing: str = "auto",
                   ) -> ChaosScenario:
     """N remote clients sharing host0's controller, faults injectable.
 
@@ -131,7 +132,7 @@ def chaos_cluster(n_clients: int = 4,
         client = DistributedNvmeClient(
             bed.sim, bed.smartio, bed.node(host_index),
             bed.nvme_device_id, base, queue_depth=queue_depth,
-            queue_entries=queue_entries, slot_index=i,
+            queue_entries=queue_entries, sharing=sharing, slot_index=i,
             name=f"host{host_index}-nvme", tracer=tracer)
         if tele is not None:
             tele.attach(clients=[client])

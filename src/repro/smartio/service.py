@@ -97,6 +97,19 @@ class DeviceRef:
         self._dma_windows.append(window)
         return window
 
+    def unmap_segment_for_device(self, device_addr: int) -> None:
+        """Tear down a DMA window from :meth:`map_segment_for_device`.
+
+        A no-op for device-local segments (which needed no window).
+        Used when queue memory is given back before the device ever saw
+        the address — e.g. a private-QP request redirected to a shared
+        queue pair.
+        """
+        self._check_live()
+        if device_addr in self._dma_windows:
+            self.record.node.ntb.unmap_window(device_addr)
+            self._dma_windows.remove(device_addr)
+
     # -- lifecycle -----------------------------------------------------------------
 
     def downgrade(self) -> None:

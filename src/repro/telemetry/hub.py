@@ -236,6 +236,21 @@ class Telemetry:
                       help="dead clients reclaimed by the lease watchdog")
         m.gauge_set("repro_manager_queues_in_use", mgr.queues_in_use,
                     help="I/O queue pairs currently allocated to clients")
+        m.counter_set("repro_manager_admission_rejections_total",
+                      mgr.admission_rejections,
+                      help="queue-pair requests refused with RPC_NO_QUEUES")
+        m.counter_set("repro_qp_cqes_forwarded_total", mgr.cqes_forwarded,
+                      help="shared-CQ entries demuxed into tenant mailboxes")
+        m.counter_set("repro_qp_cqes_orphaned_total", mgr.cqes_orphaned,
+                      help="shared-CQ entries for dead/unknown tenants")
+        for qid in sorted(mgr.shared_qps):
+            qp = mgr.shared_qps[qid]
+            m.gauge_set("repro_qp_tenants", qp.tenant_count,
+                        help="tenants admitted onto a shared queue pair",
+                        qid=qid)
+            m.gauge_set("repro_qp_windows_free", qp.free_windows,
+                        help="unreserved slot windows on a shared queue pair",
+                        qid=qid)
 
     def _collect_faults(self, faults: t.Any) -> None:
         m = self.metrics

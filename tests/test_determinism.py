@@ -5,7 +5,8 @@ process state.  Guards the reproducibility claim in EXPERIMENTS.md."""
 import numpy as np
 
 from repro.faults import FaultEvent, FaultPlan
-from repro.scenarios import chaos_cluster, multihost, nvmeof_remote, ours_remote
+from repro.scenarios import (chaos_cluster, multihost, nvmeof_remote,
+                             ours_remote, scale_out_cluster)
 from repro.sim.rng import RngRegistry
 from repro.workloads import FioJob, fio_generator, run_fio, run_fio_many
 
@@ -46,6 +47,38 @@ class TestScenarioDeterminism:
         first = run()
         second = run()
         assert first == second
+
+
+class TestSharedQpDeterminism:
+    """The 64-client shared-QP scale-out replays bit-identically — the
+    arbitration order on the shared SQs, the mailbox demux, and every
+    exported telemetry byte are functions of the seed alone."""
+
+    def _run(self):
+        scn = scale_out_cluster(64, seed=909, queue_depth=4,
+                                telemetry=True)
+        jobs = [(c, FioJob(name=f"j{i}", rw="randrw", iodepth=4,
+                           total_ios=10, seed_stream=f"fio{i}"))
+                for i, c in enumerate(scn.clients)]
+        results = run_fio_many(jobs)
+        assert all(r.ios == 10 and r.errors == 0 for r in results)
+        tele = scn.telemetry
+        assert tele is not None
+        return tele.prometheus_text(), tele.perfetto_json()
+
+    def test_telemetry_bytes_identical_across_runs(self):
+        first = self._run()
+        second = self._run()
+        assert first == second
+        assert "repro_qp_tenants" in first[0]
+
+    def test_route_cache_off_changes_nothing(self, monkeypatch):
+        """The route cache is a pure-perf memo: disabling it must not
+        perturb a single exported byte (see tests/test_perf_caches.py
+        for the private-QP equivalent)."""
+        baseline = self._run()
+        monkeypatch.setenv("REPRO_NO_ROUTE_CACHE", "1")
+        assert self._run() == baseline
 
 
 class TestChaosDeterminism:

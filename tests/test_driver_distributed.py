@@ -1,9 +1,12 @@
 """Integration tests for the distributed manager/client driver —
 the paper's core contribution."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
+from repro.config import SimulationConfig
 from repro.driver import (BlockRequest, DistributedNvmeClient, NvmeManager,
                           ClientError)
 from repro.driver import metadata as meta
@@ -11,8 +14,16 @@ from repro.scenarios.testbed import PcieTestbed
 from repro.smartio import SmartIoError
 
 
-def make_cluster(n_hosts=2, seed=55):
-    bed = PcieTestbed(n_hosts=n_hosts, with_nvme=True, seed=seed)
+def no_sharing_config():
+    """The paper's baseline: every client gets a private queue pair."""
+    cfg = SimulationConfig()
+    return dataclasses.replace(
+        cfg, sharing=dataclasses.replace(cfg.sharing, enabled=False))
+
+
+def make_cluster(n_hosts=2, seed=55, config=None):
+    bed = PcieTestbed(n_hosts=n_hosts, with_nvme=True, seed=seed,
+                      config=config)
     manager = NvmeManager(bed.sim, bed.smartio, bed.node(0),
                           bed.nvme_device_id, bed.config)
     boot = bed.sim.process(manager.start())
@@ -246,8 +257,13 @@ class TestDataPath:
 
 class TestMultiHostScaling:
     def test_31_clients_supported(self):
-        """The paper: P4800X supports 32 QPs, so 31 hosts can share it."""
-        bed, manager = make_cluster(n_hosts=32)
+        """The paper: P4800X supports 32 QPs, so 31 hosts can share it.
+
+        QP sharing is disabled here to pin the paper's private-only
+        baseline; the default policy is covered by test_qp_sharing.py.
+        """
+        bed, manager = make_cluster(n_hosts=32,
+                                    config=no_sharing_config())
         clients = []
         for i in range(1, 32):
             clients.append(start_client(bed, i))
@@ -255,7 +271,9 @@ class TestMultiHostScaling:
         assert sorted(c.qid for c in clients) == list(range(1, 32))
 
     def test_32nd_client_refused(self):
-        bed, manager = make_cluster(n_hosts=33)
+        """Without QP sharing the 32nd host hits the hard QP limit."""
+        bed, manager = make_cluster(n_hosts=33,
+                                    config=no_sharing_config())
         for i in range(1, 32):
             start_client(bed, i)
         overflow = DistributedNvmeClient(bed.sim, bed.smartio,

@@ -31,10 +31,11 @@ HORIZON_NS = 500_000_000
 
 
 def run_chaos(plan, seed=11, n_clients=4, total_ios=300, iodepth=4,
-              settle_ns=5_000_000):
+              settle_ns=5_000_000, **cluster_kwargs):
     """Start the cluster + injector + one fio job per client; run to a
     horizon and return (scenario, per-client FioResult list)."""
-    sc = chaos_cluster(n_clients=n_clients, plan=plan, seed=seed)
+    sc = chaos_cluster(n_clients=n_clients, plan=plan, seed=seed,
+                       **cluster_kwargs)
     sc.injector.start()
     procs = []
     for i, client in enumerate(sc.clients):
@@ -120,6 +121,62 @@ class TestKillOneOfFour:
         sc_a, _ = run_chaos(self.PLAN, seed=11)
         sc_b, _ = run_chaos(self.PLAN, seed=12)
         assert sc_a.trace_log() != sc_b.trace_log()
+
+
+class TestKillSharedCoTenant:
+    """Queue-sharing chaos: kill 1 of 3 co-tenants of one shared SQ
+    mid-I/O.  The lease reclaim must free only the dead tenant's slot
+    window — the shared QP itself and the co-tenants' windows survive,
+    and the survivors finish with zero timeouts."""
+
+    PLAN = FaultPlan.kill("host2-nvme", at_ns=1_000_000)
+
+    def _run(self, seed=11):
+        return run_chaos(self.PLAN, seed=seed, n_clients=3,
+                         sharing="force")
+
+    def test_reclaim_frees_only_the_dead_window(self):
+        sc, results = self._run()
+        victim = sc.clients[1]
+        survivors = [c for c in sc.clients if c is not victim]
+        assert all(c._shared for c in sc.clients)
+        assert len(sc.manager.shared_qps) == 1
+        qp = next(iter(sc.manager.shared_qps.values()))
+
+        for client, result in zip(sc.clients, results):
+            assert result.ios + result.errors == 300   # exactly-once
+            assert not client._inflight
+        assert victim.crashed and results[1].errors > 0
+
+        # The lease reclaimed the tenancy, not the queue pair: the
+        # shared QP is still up, hosting the two survivors.
+        assert sc.manager.leases_reclaimed == 1
+        assert sc.manager.queues_in_use == 1
+        assert qp.tenants[victim._tenant] is None
+        for c in survivors:
+            ten = qp.tenants[c._tenant]
+            assert ten is not None and ten.slot == c.slot_index
+        assert qp.free_windows == qp.nwindows - 2
+        assert not qp.draining        # the dead window fully drained
+
+    def test_survivors_unperturbed(self):
+        sc, results = self._run()
+        victim = sc.clients[1]
+        for client, result in zip(sc.clients, results):
+            if client is victim:
+                continue
+            assert result.ios == 300 and result.errors == 0
+            assert client.timeouts == 0
+
+    def test_replays_bit_identical(self):
+        def one_run():
+            sc, results = self._run()
+            return (sc.trace_log(),
+                    [(r.ios, r.errors) for r in results])
+
+        first = one_run()
+        assert first == one_run()
+        assert len(first[0]) > 0
 
 
 class TestLinkFaults:

@@ -29,8 +29,16 @@ class TestBuilders:
         assert scenario.testbed.nvme.io_queue_count == 3
 
     def test_multihost_too_many(self):
+        # With sharing refused, the paper's hard 31-client limit holds.
         with pytest.raises(ValueError):
-            multihost(32)
+            multihost(32, sharing="never")
+        # With the default sharing policy the limit is the shared-QP
+        # capacity instead.
+        from repro.config import SimulationConfig
+
+        cap = SimulationConfig().sharing.capacity(31)
+        with pytest.raises(ValueError):
+            multihost(cap + 1)
 
     def test_multihost_including_device_host(self):
         scenario = multihost(2, seed=3, include_device_host=True)

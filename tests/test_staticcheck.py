@@ -86,7 +86,7 @@ def test_inserting_nonposted_read_in_submit_path_fails(tmp_path):
 
 def test_doorbell_swap_in_submit_path_fails(tmp_path):
     source = CLIENT_PY.read_text()
-    sqe_write = "sqe_write = self._sq_conn.write(slot * 64, sqe.pack())"
+    sqe_write = "sqe_write = self._sq_conn.write(offset, sqe.pack())"
     assert sqe_write in source
     # Move the SQE store after the doorbell ring: classic stale-fetch bug.
     mutated = source.replace("        " + sqe_write + "\n", "")
