@@ -141,7 +141,46 @@ def _cmd_staticcheck(args: argparse.Namespace) -> int:
         argv += ["--select", args.select]
     if args.json:
         argv += ["--format", "json"]
+    if args.jobs:
+        argv += ["--jobs", str(args.jobs)]
+    if args.stats:
+        argv += ["--stats"]
     return staticcheck_main(argv)
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    # Imported lazily like telemetry: plain simulation commands never
+    # pay for the sanitizer stack.
+    import pathlib
+
+    from .sanitizer import render_json, render_text, run_scenario
+
+    if args.scenario == "selftest":
+        from .sanitizer import selftest
+        results = selftest(seed=args.seed)
+        ok = True
+        for detector, res in results.items():
+            state = "ok" if res["ok"] else "FAILED"
+            ok = ok and res["ok"]
+            print(f"  {detector}: {state} "
+                  f"(fired {', '.join(res['fired']) or 'nothing'})")
+        print(f"selftest: {'all detectors fire' if ok else 'FAILED'}")
+        return 0 if ok else 1
+
+    print(f"running {args.scenario} under sharesan "
+          f"(ios={args.ios} seed={args.seed}) ...", file=sys.stderr)
+    run = run_scenario(args.scenario, ios=args.ios, seed=args.seed,
+                       iodepth=args.iodepth, clients=args.clients)
+    report = run.report()
+    if args.json:
+        path = pathlib.Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(render_json(report) + "\n")
+        print(f"wrote {path}", file=sys.stderr)
+    print(render_text(report))
+    if args.check and not run.clean:
+        return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -205,7 +244,30 @@ def build_parser() -> argparse.ArgumentParser:
     sc.add_argument("--select", help="comma-separated rule names")
     sc.add_argument("--json", action="store_true",
                     help="machine-readable output")
+    sc.add_argument("--jobs", type=int, default=0,
+                    help="scan files with N worker processes")
+    sc.add_argument("--stats", action="store_true",
+                    help="print findings-per-rule and timing summary")
     sc.set_defaults(func=_cmd_staticcheck)
+
+    san = sub.add_parser(
+        "sanitize",
+        help="run a scenario under ShareSan (ownership/race checks) "
+             "or the detector selftest")
+    san.add_argument("scenario",
+                     choices=["scale-out", "chaos", "multihost",
+                              "selftest"])
+    san.add_argument("--ios", type=int, default=50,
+                     help="I/Os per client")
+    san.add_argument("--iodepth", type=int, default=4)
+    san.add_argument("--seed", type=int, default=7)
+    san.add_argument("--clients", type=int, default=None,
+                     help="override the scenario's client count")
+    san.add_argument("--check", action="store_true",
+                     help="exit non-zero if any finding was reported")
+    san.add_argument("--json", metavar="PATH",
+                     help="also write the full report as JSON")
+    san.set_defaults(func=_cmd_sanitize)
     return parser
 
 

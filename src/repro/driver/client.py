@@ -32,6 +32,7 @@ from ..nvme import (CompletionEntry, CompletionQueueState, IoOpcode,
                     SubmissionEntry, SubmissionQueueState,
                     cq_doorbell_offset, sq_doorbell_offset)
 from ..pcie.fabric import FabricFaultError
+from ..sanitizer.hooks import NULL_SANITIZER
 from ..sim import (NULL_TRACER, Event, Interrupt, Process, Signal,
                    Simulator, Store)
 from ..sisci import RemoteSegment, SisciNode
@@ -131,6 +132,8 @@ class DistributedNvmeClient(BlockDevice):
         self.timeouts = 0
         self.retries = 0
         self.stale_completions = 0
+        #: ShareSan hook (docs/sanitizer.md); NULL object when off.
+        self.sanitizer = NULL_SANITIZER
 
     # ------------------------------------------------------------- bootstrap
 
@@ -225,6 +228,9 @@ class DistributedNvmeClient(BlockDevice):
 
         self._running = True
         self._started = True
+        san = self.sanitizer
+        if san.enabled:
+            san.on_client_started(self)
         if self.completion_mode == "interrupt":
             self._poll_proc = self.sim.process(self._interrupt_handler())
         else:
@@ -321,6 +327,9 @@ class DistributedNvmeClient(BlockDevice):
         self._running = False
         self._stop_workers()
         self._fail_inflight(STATUS_HOST_SHUTDOWN)
+        san = self.sanitizer
+        if san.enabled:
+            san.on_client_dead(self, "shutdown")
         if self.qid is not None:
             yield from self._rpc(meta.OP_DELETE_QP, qid=self.qid)
             self.qid = None
@@ -339,6 +348,9 @@ class DistributedNvmeClient(BlockDevice):
         self._running = False
         self._stop_workers()
         self._fail_inflight(STATUS_HOST_CRASHED)
+        san = self.sanitizer
+        if san.enabled:
+            san.on_client_dead(self, "crashed")
         self.tracer.emit("fault", "client-crashed", client=self.name)
 
     def _stop_workers(self) -> None:
@@ -584,6 +596,9 @@ class DistributedNvmeClient(BlockDevice):
         # shared SQ: posted store into our slot window of the manager-
         # hosted ring.
         slot = self.sq.advance_tail()
+        san = self.sanitizer
+        if san.enabled:
+            san.on_client_submit(self, sqe.cid, slot)
         if self._shared:
             self._submitted += 1
         offset = ((self._win_start + slot) * 64 if self._shared
@@ -630,6 +645,9 @@ class DistributedNvmeClient(BlockDevice):
         ring with the window index encoded in the doorbell's high
         half."""
         assert self._meta_conn is not None
+        san = self.sanitizer
+        if san.enabled:
+            san.on_client_doorbell(self)
         self._meta_conn.write(
             meta.shadow_offset(self.qid, self._tenant),
             self._submitted.to_bytes(meta.SHADOW_SIZE, "little"))
@@ -767,6 +785,9 @@ class DistributedNvmeClient(BlockDevice):
             return  # shutdown/crash stopped the poller
 
     def _dispatch(self, cqe: CompletionEntry) -> None:
+        san = self.sanitizer
+        if san.enabled:
+            san.on_client_dispatch(self, cqe)
         # For a shared QP the controller reports the *window-relative*
         # head, which is exactly what our window-sized ring models.
         self.sq.head = cqe.sq_head

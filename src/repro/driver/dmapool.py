@@ -25,14 +25,28 @@ class DmaPool:
         self.cpu_base = cpu_base
         self.device_base = device_base
         self.size = size
+        self.name = name
         self._alloc = RangeAllocator(cpu_base, size, name=name)
+        # ShareSan rides on the host memory's hook (docs/sanitizer.md):
+        # pools are created at arbitrary times, so the wiring point is
+        # the (long-lived) HostMemory they carve their buffers from.
+        san = host.memory.sanitizer
+        if san.enabled:
+            san.on_pool_created(self)
 
     def alloc(self, size: int, alignment: int = 4096) -> tuple[int, int]:
         """Returns ``(cpu_addr, device_addr)`` for a new allocation."""
         cpu_addr = self._alloc.alloc(size, alignment)
+        san = self.host.memory.sanitizer
+        if san.enabled:
+            san.on_pool_alloc(self, cpu_addr,
+                              self._alloc.allocation_size(cpu_addr))
         return cpu_addr, self.to_device(cpu_addr)
 
     def free(self, cpu_addr: int) -> None:
+        san = self.host.memory.sanitizer
+        if san.enabled:
+            san.on_pool_free(self, cpu_addr)
         self._alloc.free(cpu_addr)
 
     def to_device(self, cpu_addr: int) -> int:

@@ -26,6 +26,7 @@ import typing as t
 from ..config import SimulationConfig
 from ..nvme import (CompletionEntry, CompletionQueueState,
                     cq_doorbell_offset)
+from ..sanitizer.hooks import NULL_SANITIZER
 from ..sim import NULL_TRACER, Resource, Simulator
 from ..telemetry.hub import NULL_TELEMETRY
 from ..sisci import LocalSegment, RemoteSegment, SisciError, SisciNode
@@ -136,6 +137,8 @@ class NvmeManager:
         # slot -> (last heartbeat value, sim time it last changed)
         self._hb_seen: dict[int, tuple[int, int]] = {}
         self.telemetry = NULL_TELEMETRY
+        #: ShareSan hook (docs/sanitizer.md); NULL object when off.
+        self.sanitizer = NULL_SANITIZER
         self.rpcs_served = 0
         self.leases_reclaimed = 0
         self.admission_rejections = 0
@@ -193,6 +196,9 @@ class NvmeManager:
         # Device initialised: let clients in.
         self._ref.downgrade()
         self._running = True
+        san = self.sanitizer
+        if san.enabled:
+            san.on_manager_started(self)
         self.sim.process(self._mailbox_worker())
         if self.config.reliability.lease_timeout_ns > 0:
             self.sim.process(self._lease_worker())
@@ -368,6 +374,10 @@ class NvmeManager:
         seg.write(meta.shadow_offset(qp.qid, widx),
                   win_tail.to_bytes(meta.SHADOW_SIZE, "little"))
         self._slot_share[slot] = (qp.qid, widx)
+        san = self.sanitizer
+        if san.enabled:
+            san.on_window_granted(self, qp, widx, slot,
+                                  qp.tenants[widx].ring)
         self.tracer.emit("manager", "shared-admit", slot=slot,
                          qid=qp.qid, window=widx)
         extra = {"tenant": widx, "win_start": widx * qp.win_entries,
@@ -448,6 +458,9 @@ class NvmeManager:
             tenants=[None] * nwin, win_next_tail=[0] * nwin,
             win_completed=[0] * nwin)
         self._shared_qps[qid] = qp
+        san = self.sanitizer
+        if san.enabled:
+            san.on_shared_qp(self, qp)
         self.sim.process(self._shared_demux(qp))
         self.tracer.emit("manager", "shared-qp-created", qid=qid,
                          windows=nwin)
@@ -478,6 +491,10 @@ class NvmeManager:
             # CQEs we drop as orphans) catches up with the departed
             # tenant's absolute submission count.
             qp.draining[widx] = shadow
+        san = self.sanitizer
+        if san.enabled:
+            san.on_window_released(self, qp, widx, slot,
+                                   widx in qp.draining)
         seg.write(meta.share_offset(qid),
                   meta.pack_share(qid, qp.nwindows, qp.win_entries,
                                   qp.tenant_bitmap()))
@@ -532,22 +549,31 @@ class NvmeManager:
             mem.unwatch(wp)
 
     def _forward_cqe(self, qp: _SharedQp, cqe: CompletionEntry) -> None:
+        san = self.sanitizer
         widx = meta.cid_tenant(cqe.cid)
         if widx >= len(qp.tenants):
             self.cqes_orphaned += 1
+            if san.enabled:
+                san.on_cqe_orphaned(self, qp, cqe)
             return
         qp.win_completed[widx] += 1
         if (widx in qp.draining
                 and qp.win_completed[widx] >= qp.draining[widx]):
             del qp.draining[widx]      # quarantined window now empty
+            if san.enabled:
+                san.on_window_drained(self, qp, widx)
         ten = qp.tenants[widx]
         if ten is None or ten.mailbox is None or ten.ring is None:
             self.cqes_orphaned += 1
+            if san.enabled:
+                san.on_cqe_orphaned(self, qp, cqe)
             return
         slot, phase = ten.ring.produce_slot()
         cqe.phase = phase
         ten.mailbox.write(slot * 16, cqe.pack())
         self.cqes_forwarded += 1
+        if san.enabled:
+            san.on_cqe_forwarded(self, qp, widx, ten.slot, cqe)
 
     # -- liveness leases -----------------------------------------------------------
 
@@ -614,6 +640,9 @@ class NvmeManager:
         self.metadata_segment.write(meta.heartbeat_offset(slot),
                                     bytes(meta.HEARTBEAT_SIZE))
         self.leases_reclaimed += 1
+        san = self.sanitizer
+        if san.enabled:
+            san.on_lease_revoked(self, slot)
         self.tracer.emit("recovery", "lease-reclaim", slot=slot,
                          qids=len(owned) + (1 if shared else 0))
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import typing as t
 
+from ..sanitizer.hooks import NULL_SANITIZER
 from ..sim import Signal, Simulator
 
 
@@ -60,6 +61,8 @@ class HostMemory:
         self.name = name
         self._extents: dict[int, bytearray] = {}
         self._watchpoints: list[Watchpoint] = []
+        #: ShareSan hook (docs/sanitizer.md); NULL object when off.
+        self.sanitizer = NULL_SANITIZER
 
     @property
     def end(self) -> int:
@@ -84,6 +87,9 @@ class HostMemory:
         offset = addr - self.base
         if offset < 0 or offset + length > self.size:
             self._check(addr, length)
+        san = self.sanitizer
+        if san.enabled:
+            san.on_mem_read(self, addr, length)
         index, within = divmod(offset, self.EXTENT)
         if within + length <= self.EXTENT:
             extent = self._extents.get(index)
@@ -107,6 +113,9 @@ class HostMemory:
         offset = addr - self.base
         if offset < 0 or offset + length > self.size:
             self._check(addr, length)
+        san = self.sanitizer
+        if san.enabled:
+            san.on_mem_write(self, addr, length)
         if not isinstance(data, (bytes, bytearray)):
             data = bytes(data)
         index, within = divmod(offset, self.EXTENT)

@@ -28,6 +28,7 @@ from ..config import NvmeConfig
 from ..pcie.device import Bar, PCIeFunction
 from ..pcie.fabric import FabricFaultError
 from ..sim import NULL_TRACER, Signal, Simulator
+from ..sanitizer.hooks import NULL_SANITIZER
 from ..telemetry.hub import NULL_TELEMETRY
 from .constants import (CC_EN, CSTS_RDY, CSTS_SHST_COMPLETE, DOORBELL_BASE,
                         PAGE_SIZE, AdminOpcode, IoOpcode, Status,
@@ -101,6 +102,8 @@ class NvmeController(PCIeFunction):
         self.faults = None
         self.fault_point = f"ctrl:{name}"
         self.telemetry = NULL_TELEMETRY
+        #: ShareSan hook (docs/sanitizer.md); NULL object when off.
+        self.sanitizer = NULL_SANITIZER
         #: accounting
         self.commands_completed = 0
         self.fetches = 0
@@ -206,6 +209,9 @@ class NvmeController(PCIeFunction):
     def _doorbell_write(self, offset: int, data: bytes) -> None:
         qid, is_cq = doorbell_index(offset)
         value = int.from_bytes(data, "little")
+        san = self.sanitizer
+        if san.enabled:
+            san.on_doorbell(self, qid, is_cq, value)
         if is_cq:
             cq = self.cqs.get(qid)
             if cq is None or not cq.active:
@@ -468,6 +474,9 @@ class NvmeController(PCIeFunction):
         cq.interrupts_enabled = interrupts
         cq.vector = vector
         self.cqs[qid] = cq
+        san = self.sanitizer
+        if san.enabled:
+            san.on_queue_created(self, "cq", cq.state)
         return Status.SUCCESS
 
     def _admin_create_sq(self, sqe: SubmissionEntry) -> int:
@@ -496,6 +505,10 @@ class NvmeController(PCIeFunction):
                                         entries=win_entries)
                           for i in range(entries // win_entries)]
         self.sqs[qid] = sq
+        san = self.sanitizer
+        if san.enabled:
+            san.on_queue_created(self, "sq", sq.state, shared=shared,
+                                 windows=sq.windows)
         if shared:
             self.sim.process(self._shared_sq_worker(sq))
         else:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from ..sanitizer.hooks import NULL_SANITIZER
 from .constants import CQE_SIZE, SQE_SIZE
 
 
@@ -31,6 +32,9 @@ class SubmissionQueueState:
     cqid: int = 0
     head: int = 0           # consumer index (controller side)
     tail: int = 0           # producer index (driver side)
+    #: ShareSan hook (docs/sanitizer.md); NULL object when off.
+    sanitizer: object = dataclasses.field(default=NULL_SANITIZER,
+                                          repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.entries < 2:
@@ -58,6 +62,9 @@ class SubmissionQueueState:
     def advance_tail(self) -> int:
         if self.is_full():
             raise QueueError(f"SQ{self.qid} overflow")
+        san = self.sanitizer
+        if san.enabled:
+            san.on_sq_advance(self)
         slot = self.tail
         self.tail = (self.tail + 1) % self.entries
         return slot
@@ -65,6 +72,9 @@ class SubmissionQueueState:
     def advance_head(self) -> int:
         if self.is_empty():
             raise QueueError(f"SQ{self.qid} underflow")
+        san = self.sanitizer
+        if san.enabled:
+            san.on_sq_fetch(self)
         slot = self.head
         self.head = (self.head + 1) % self.entries
         return slot
@@ -92,6 +102,9 @@ class SqWindowState:
     head: int = 0           # consumer index (controller side)
     db_tail: int = 0        # producer tail from the tenant's doorbell
     ready_at: int = 0       # sim time the head entry became fetchable
+    #: ShareSan hook (docs/sanitizer.md); NULL object when off.
+    sanitizer: object = dataclasses.field(default=NULL_SANITIZER,
+                                          repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.entries < 2:
@@ -110,6 +123,9 @@ class SqWindowState:
     def advance_head(self) -> int:
         if self.is_empty():
             raise QueueError(f"window {self.index} underflow")
+        san = self.sanitizer
+        if san.enabled:
+            san.on_window_fetch(self)
         slot = self.head
         self.head = (self.head + 1) % self.entries
         return slot
@@ -131,6 +147,9 @@ class CompletionQueueState:
     tail: int = 0           # producer index (controller side)
     phase: int = 1          # current producer phase tag (starts at 1)
     interrupt_vector: int | None = None
+    #: ShareSan hook (docs/sanitizer.md); NULL object when off.
+    sanitizer: object = dataclasses.field(default=NULL_SANITIZER,
+                                          repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.entries < 2:
@@ -149,6 +168,9 @@ class CompletionQueueState:
 
     def produce_slot(self) -> tuple[int, int]:
         """Claim the next producer slot; returns (index, phase-tag)."""
+        san = self.sanitizer
+        if san.enabled:
+            san.on_cq_produce(self)
         slot = self.tail
         phase = self.phase
         self.tail = (self.tail + 1) % self.entries
@@ -168,6 +190,9 @@ class CompletionQueueState:
         The driver-side state uses ``phase`` as the *expected* tag; it
         flips when the head wraps.
         """
+        san = self.sanitizer
+        if san.enabled:
+            san.on_cq_consume(self)
         slot = self.head
         self.head = (self.head + 1) % self.entries
         if self.head == 0:

@@ -1,0 +1,43 @@
+"""NULL-object half of ShareSan (see ``repro.sanitizer.sanitizer``).
+
+Every instrumented object carries a ``sanitizer`` attribute that
+defaults to :data:`NULL_SANITIZER`.  Hot paths guard each hook with::
+
+    san = self.sanitizer
+    if san.enabled:
+        san.on_mem_write(self, addr, length)
+
+so the disabled cost is one attribute load and a falsy class-attribute
+test — the same discipline ``repro.telemetry`` uses.  This module must
+import nothing from the rest of the package: ``memory.physmem`` and
+``nvme.queues`` import it at module load.
+"""
+
+from __future__ import annotations
+
+
+def _noop(*_args, **_kwargs) -> None:
+    return None
+
+
+class NullSanitizer:
+    """Inert stand-in wired into every hook point by default.
+
+    ``enabled`` is a class attribute so the guard costs no per-instance
+    dict lookup.  Any ``on_*`` hook resolves to a shared no-op, which
+    keeps this object signature-compatible with ``ShareSan`` without
+    duplicating its hook list.
+    """
+
+    enabled = False
+
+    def __getattr__(self, name: str):
+        if name.startswith("on_"):
+            return _noop
+        raise AttributeError(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NullSanitizer>"
+
+
+NULL_SANITIZER = NullSanitizer()

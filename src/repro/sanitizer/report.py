@@ -1,0 +1,60 @@
+"""Render a ShareSan run as JSON (CI artifact) or text (humans)."""
+
+from __future__ import annotations
+
+import json
+import typing as t
+
+from .sanitizer import ShareSan
+
+
+def build_report(san: ShareSan, scenario: str = "",
+                 seed: int | None = None,
+                 extra: dict[str, t.Any] | None = None) -> dict[str, t.Any]:
+    """The JSON-shaped summary of one sanitized run."""
+    report: dict[str, t.Any] = {
+        "scenario": scenario,
+        "seed": seed,
+        "clean": san.clean,
+        "time_ns": san.sim.now,
+        "findings": [f.as_dict() for f in san.findings],
+        "stats": dict(sorted(san.stats.items())),
+        "windows": san.window_map(),
+        "regions": [r.as_dict() for r in san.regions],
+    }
+    if extra:
+        report.update(extra)
+    return report
+
+
+def render_json(report: dict[str, t.Any]) -> str:
+    return json.dumps(report, indent=2, sort_keys=False)
+
+
+def render_text(report: dict[str, t.Any]) -> str:
+    lines = [f"sharesan: scenario={report['scenario'] or '-'} "
+             f"seed={report['seed']} time={report['time_ns']}ns"]
+    stats = report["stats"]
+    checked = " ".join(f"{key}={stats[key]}" for key in
+                       ("mem_writes", "mem_reads", "ntb_translations",
+                        "cq_produced", "cq_consumed", "doorbells")
+                       if key in stats)
+    if checked:
+        lines.append(f"validated: {checked}")
+    lines.append(f"regions tracked: {len(report['regions'])}, "
+                 f"windows: {len(report['windows'])}")
+    findings = report["findings"]
+    if not findings:
+        lines.append("clean: no ownership or race violations")
+        return "\n".join(lines)
+    lines.append(f"FINDINGS: {len(findings)} distinct")
+    for found in findings:
+        count = (f" (x{found['count']})"
+                 if found.get("count", 1) > 1 else "")
+        lines.append(f"  [{found['detector']}] t={found['time_ns']}ns"
+                     f"{count}: {found['message']}")
+        span = found.get("span")
+        if span:
+            lines.append(f"      span #{span['index']} {span['op']} "
+                         f"lba={span['lba']} on {span['device']}")
+    return "\n".join(lines)

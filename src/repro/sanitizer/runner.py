@@ -1,0 +1,111 @@
+"""One-call sanitized runs over the repo's canonical scenarios.
+
+Used by the ``repro sanitize`` CLI subcommand and the CI smoke job:
+build a scenario with ShareSan wired in, drive a deterministic
+workload, and hand back the sanitizer plus a JSON-shaped report.
+Everything is seeded, so two calls with the same arguments produce
+byte-identical reports — and because ShareSan is pure observation,
+identical traces to the same run with the sanitizer off.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from ..faults import FaultPlan
+from ..scenarios import chaos_cluster, multihost, scale_out_cluster
+from ..workloads import FioJob, fio_generator, run_fio_many
+from .report import build_report
+from .sanitizer import ShareSan
+
+#: Scenario names accepted by :func:`run_scenario`.
+SANITIZE_SCENARIOS: tuple[str, ...] = ("scale-out", "chaos", "multihost")
+
+#: Simulated horizon + settle time for the chaos scenario (mirrors the
+#: telemetry runner: covers the fault plan and the retry tail).
+_CHAOS_HORIZON_NS = 200_000_000
+_CHAOS_SETTLE_NS = 5_000_000
+
+
+@dataclasses.dataclass
+class SanitizeRun:
+    """A finished sanitized run."""
+
+    scenario: str
+    seed: int
+    sanitizer: ShareSan
+    results: list[t.Any]          # FioResult per workload
+
+    @property
+    def clean(self) -> bool:
+        return self.sanitizer.clean
+
+    def report(self) -> dict[str, t.Any]:
+        return build_report(
+            self.sanitizer, scenario=self.scenario, seed=self.seed,
+            extra={"ios": sum(r.ios for r in self.results),
+                   "errors": sum(r.errors for r in self.results)})
+
+
+def run_scenario(name: str, ios: int = 50, seed: int = 7,
+                 iodepth: int = 4, clients: int | None = None
+                 ) -> SanitizeRun:
+    """Run one named scenario under ShareSan and return the run.
+
+    ``scale-out`` is the beyond-31-hosts cluster (64 clients on 31 QPs
+    by default) — the densest shared-window traffic the repo has.
+    ``chaos`` adds a seeded random fault plan on top of a 4-client
+    cluster, so recovery paths (lease reclaim, window quarantine,
+    CQ resync) are validated too.  ``multihost`` is the plain
+    private-QP cluster.
+    """
+    if name == "chaos":
+        return _run_chaos(ios=ios, seed=seed, iodepth=iodepth,
+                          n_clients=clients or 4)
+    if name == "scale-out":
+        sc = scale_out_cluster(clients or 64, seed=seed,
+                               queue_depth=iodepth, sanitizer=True)
+    elif name == "multihost":
+        sc = multihost(clients or 4, seed=seed, queue_depth=iodepth,
+                       sanitizer=True)
+    else:
+        raise ValueError(f"unknown scenario {name!r}; "
+                         f"pick one of {SANITIZE_SCENARIOS}")
+    jobs = [(client, FioJob(name=f"j{i}", rw="randrw", bs=4096,
+                            iodepth=iodepth, total_ios=ios,
+                            seed_stream=f"fio{i}"))
+            for i, client in enumerate(sc.clients)]
+    results = run_fio_many(jobs)
+    assert sc.sanitizer is not None
+    return SanitizeRun(scenario=name, seed=seed,
+                       sanitizer=sc.sanitizer, results=results)
+
+
+def _run_chaos(ios: int, seed: int, iodepth: int,
+               n_clients: int) -> SanitizeRun:
+    sc = chaos_cluster(n_clients=n_clients, seed=seed, sanitizer=True)
+    # A seeded random plan from the run's own registry (private
+    # "sanitize-chaos" stream — the workload's draws are untouched).
+    # The device host's link is spared so the cluster always drains.
+    plan = FaultPlan.random(
+        sc.sim.rng, "sanitize-chaos", horizon_ns=3_000_000,
+        link_points=sc.link_points()[1:],
+        ctrl_points=[sc.ctrl_point],
+        n_events=6, max_outage_ns=400_000, max_drop_probability=0.1)
+    sc.injector.plan = plan
+    sc.injector.start()
+    procs = []
+    for i, client in enumerate(sc.clients):
+        job = FioJob(name=f"j{i}", rw="randrw", bs=4096,
+                     iodepth=iodepth, total_ios=ios,
+                     seed_stream=f"fio{i}")
+        procs.append(sc.sim.process(fio_generator(client, job)))
+    sc.sim.run(until=sc.sim.timeout(_CHAOS_HORIZON_NS))
+    if not all(p.triggered for p in procs):
+        raise RuntimeError("chaos workload did not drain by the horizon")
+    sc.sim.run(until=sc.sim.timeout(_CHAOS_SETTLE_NS))
+    assert sc.sanitizer is not None
+    return SanitizeRun(scenario="chaos", seed=seed,
+                       sanitizer=sc.sanitizer,
+                       results=[p.value for p in procs])

@@ -157,13 +157,15 @@ class MultiHostScenario:
     manager: NvmeManager
     testbed: PcieTestbed
     telemetry: Telemetry | None = None
+    sanitizer: t.Any = None
 
 
 def multihost(n_clients: int, config: SimulationConfig | None = None,
               seed: int | None = None, queue_depth: int = 16,
               include_device_host: bool = False,
               sharing: str = "auto",
-              telemetry: bool = False) -> MultiHostScenario:
+              telemetry: bool = False,
+              sanitizer: bool = False) -> MultiHostScenario:
     """N clients sharing the single-function controller in host0.
 
     With ``include_device_host`` the device's own host also runs a
@@ -189,10 +191,17 @@ def multihost(n_clients: int, config: SimulationConfig | None = None,
     if telemetry:
         tele = Telemetry(bed.sim).attach(fabric=bed.fabric,
                                          controllers=[bed.nvme])
+    san = None
+    if sanitizer:
+        from ..sanitizer import ShareSan
+        san = ShareSan(bed.sim, telemetry=tele).attach(
+            controllers=[bed.nvme], ntbs=bed.ntbs, hosts=bed.hosts)
     manager = NvmeManager(bed.sim, bed.smartio, bed.node(0),
                           bed.nvme_device_id, bed.config)
     if tele is not None:
         tele.attach(managers=[manager])
+    if san is not None:
+        san.attach(managers=[manager])
     bed.sim.run(until=bed.sim.process(manager.start()))
     clients = []
     for i in range(n_clients):
@@ -204,16 +213,19 @@ def multihost(n_clients: int, config: SimulationConfig | None = None,
             name=f"host{host_index}-nvme")
         if tele is not None:
             tele.attach(clients=[client])
+        if san is not None:
+            san.attach(clients=[client])
         bed.sim.run(until=bed.sim.process(client.start()))
         clients.append(client)
     return MultiHostScenario(bed.sim, clients, manager, bed,
-                             telemetry=tele)
+                             telemetry=tele, sanitizer=san)
 
 
 def scale_out_cluster(n_clients: int = 64,
                       config: SimulationConfig | None = None,
                       seed: int | None = None, queue_depth: int = 16,
-                      telemetry: bool = False) -> MultiHostScenario:
+                      telemetry: bool = False,
+                      sanitizer: bool = False) -> MultiHostScenario:
     """A beyond-31-hosts cluster exercising shared queue pairs.
 
     The default 64 clients need 33 more seats than the controller has
@@ -238,4 +250,5 @@ def scale_out_cluster(n_clients: int = 64,
         cfg = dataclasses.replace(
             cfg, sharing=dataclasses.replace(share, reserved_qps=reserve))
     return multihost(n_clients, config=cfg, seed=seed,
-                     queue_depth=queue_depth, telemetry=telemetry)
+                     queue_depth=queue_depth, telemetry=telemetry,
+                     sanitizer=sanitizer)

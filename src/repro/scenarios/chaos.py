@@ -55,6 +55,7 @@ class ChaosScenario:
     tracer: Tracer
     plan: FaultPlan
     telemetry: Telemetry | None = None
+    sanitizer: t.Any = None
 
     def link_points(self) -> list[str]:
         return [f"link:{h.name}" for h in self.testbed.hosts]
@@ -84,6 +85,7 @@ def chaos_cluster(n_clients: int = 4,
                   trace_categories: t.Collection[str] | None = None,
                   telemetry: bool = False,
                   sharing: str = "auto",
+                  sanitizer: bool = False,
                   ) -> ChaosScenario:
     """N remote clients sharing host0's controller, faults injectable.
 
@@ -120,10 +122,18 @@ def chaos_cluster(n_clients: int = 4,
                                          controllers=[bed.nvme],
                                          faults=registry)
 
+    san = None
+    if sanitizer:
+        from ..sanitizer import ShareSan
+        san = ShareSan(bed.sim, telemetry=tele).attach(
+            controllers=[bed.nvme], ntbs=bed.ntbs, hosts=bed.hosts)
+
     manager = NvmeManager(bed.sim, bed.smartio, bed.node(0),
                           bed.nvme_device_id, base, tracer=tracer)
     if tele is not None:
         tele.attach(managers=[manager])
+    if san is not None:
+        san.attach(managers=[manager])
     bed.sim.run(until=bed.sim.process(manager.start()))
 
     clients: list[DistributedNvmeClient] = []
@@ -136,6 +146,8 @@ def chaos_cluster(n_clients: int = 4,
             name=f"host{host_index}-nvme", tracer=tracer)
         if tele is not None:
             tele.attach(clients=[client])
+        if san is not None:
+            san.attach(clients=[client])
         bed.sim.run(until=bed.sim.process(client.start()))
         clients.append(client)
         registry.register(f"client:{client.name}", obj=client)
@@ -145,4 +157,5 @@ def chaos_cluster(n_clients: int = 4,
     return ChaosScenario(sim=bed.sim, clients=clients, manager=manager,
                          testbed=bed, registry=registry,
                          injector=injector, tracer=tracer,
-                         plan=injector.plan, telemetry=tele)
+                         plan=injector.plan, telemetry=tele,
+                         sanitizer=san)

@@ -1,0 +1,62 @@
+"""Rule ``lease-guard``: queue lifecycle admin commands need the lock.
+
+The manager serialises controller admin-queue traffic behind
+``_admin_lock`` — creating or deleting an I/O queue pair races lease
+grant/reclaim otherwise (two RPCs interleaving their create/delete
+pairs can leak a qid or tear down a live tenant's queue).  Every call
+to ``create_io_sq``/``create_io_cq``/``delete_io_sq``/``delete_io_cq``
+inside the manager must therefore lexically follow an
+``_admin_lock.request()`` in the same function.
+
+Purely lexical, like ``doorbell-after-sq-write``: the acquire must
+*precede* the guarded call in source order.  Helpers that take the lock
+in their caller should keep the admin calls in the locked function —
+that is the discipline this rule enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+
+from ..astutil import dotted_name, iter_functions, local_walk
+from ..findings import Finding
+from ..registry import register
+from ..rule import FileContext, Rule
+
+#: Admin commands that mutate the controller's queue-pair inventory.
+_GUARDED = frozenset({"create_io_sq", "create_io_cq",
+                      "delete_io_sq", "delete_io_cq"})
+
+
+@register
+class LeaseGuard(Rule):
+    name = "lease-guard"
+    summary = "manager queue create/delete must follow _admin_lock.request()"
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.module_rel == "repro/driver/manager.py"
+
+    def check(self, ctx: FileContext) -> t.Iterator[Finding]:
+        for _cls, fn in iter_functions(ctx.tree):
+            acquires: list[int] = []
+            guarded: list[tuple[str, ast.Call]] = []
+            for node in local_walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                if name.endswith("_admin_lock.request"):
+                    acquires.append(node.lineno)
+                    continue
+                leaf = name.rsplit(".", 1)[-1]
+                if leaf in _GUARDED:
+                    guarded.append((leaf, node))
+            for leaf, call in guarded:
+                if not any(line < call.lineno for line in acquires):
+                    yield self.finding(
+                        ctx, call,
+                        f"{leaf} called without a preceding "
+                        f"_admin_lock.request() in this function: "
+                        f"queue lifecycle races lease grant/reclaim")

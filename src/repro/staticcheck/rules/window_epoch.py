@@ -1,0 +1,66 @@
+"""Rule ``window-epoch``: window tenancy changes must consult the
+ring-position handoff state.
+
+A shared-SQ window is a sub-ring whose producer position survives its
+tenant: on handoff the successor continues at the predecessor's tail
+(via the doorbell shadow recorded in ``win_next_tail``), and a window
+with commands still outstanding sits in ``draining`` until its
+completion count catches up.  Assigning ``tenants[...]`` without
+touching either is the classic epoch bug — a window handed out with a
+stale ring position or while the predecessor's commands are still in
+flight (exactly what ShareSan's ``foreign-window-write`` and
+``cqe-misdelivery`` detectors catch at runtime; this rule catches the
+omission at review time).
+
+Per function, in ``repro/driver/``: any subscript assignment to an
+attribute named ``tenants`` requires the same function to reference
+``win_next_tail`` or ``draining``.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+
+from ..astutil import iter_functions, local_walk
+from ..findings import Finding
+from ..registry import register
+from ..rule import FileContext, Rule
+
+_EPOCH_STATE = frozenset({"win_next_tail", "draining"})
+
+
+@register
+class WindowEpoch(Rule):
+    name = "window-epoch"
+    summary = "tenants[...] assignment without a window-epoch check"
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.module_rel.startswith("repro/driver/")
+
+    def check(self, ctx: FileContext) -> t.Iterator[Finding]:
+        for _cls, fn in iter_functions(ctx.tree):
+            mutations: list[ast.AST] = []
+            checks_epoch = False
+            for node in local_walk(fn):
+                if isinstance(node, ast.Attribute) \
+                        and node.attr in _EPOCH_STATE:
+                    checks_epoch = True
+                targets: t.Sequence[ast.AST] = ()
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, ast.AugAssign):
+                    targets = (node.target,)
+                for target in targets:
+                    if (isinstance(target, ast.Subscript)
+                            and isinstance(target.value, ast.Attribute)
+                            and target.value.attr == "tenants"):
+                        mutations.append(target)
+            if checks_epoch:
+                continue
+            for target in mutations:
+                yield self.finding(
+                    ctx, target,
+                    "window tenancy reassigned without consulting "
+                    "win_next_tail or draining: the successor inherits "
+                    "a stale ring position or a live window")

@@ -88,26 +88,45 @@ def check_file(path: pathlib.Path, rules: t.Sequence[Rule]
     return findings
 
 
+def _check_one(path_str: str,
+               rule_names: t.Sequence[str] | None) -> list[Finding]:
+    """Process-pool worker: rules are re-resolved by name in the child
+    (rule instances need not pickle; findings do)."""
+    rules = ([get_rule(name) for name in rule_names]
+             if rule_names is not None else all_rules())
+    return check_file(pathlib.Path(path_str), rules)
+
+
 def run(paths: t.Sequence[str | pathlib.Path],
         select: t.Sequence[str] | None = None,
         baseline: str | pathlib.Path | None = None,
+        jobs: int = 0,
         ) -> tuple[list[Finding], int]:
     """Check ``paths``; returns ``(findings, files_checked)``.
 
     ``select`` limits the run to the named rules; ``baseline`` filters
-    out findings whose fingerprint the baseline file accepts.
+    out findings whose fingerprint the baseline file accepts.  With
+    ``jobs`` > 1 files are scanned by a process pool; results keep the
+    serial (sorted-file) order, so output is identical either way.
     """
     rules = ([get_rule(name) for name in select] if select
              else all_rules())
     accepted = baseline_mod.load(baseline) if baseline else set()
-    findings: list[Finding] = []
-    nfiles = 0
-    for path in iter_python_files(paths):
-        nfiles += 1
-        for finding in check_file(path, rules):
-            if finding.fingerprint() not in accepted:
-                findings.append(finding)
-    return findings, nfiles
+    files = list(iter_python_files(paths))
+    if jobs and jobs > 1 and len(files) > 1:
+        import concurrent.futures
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=jobs) as pool:
+            # map() yields in submission order — determinism is free.
+            batches = list(pool.map(
+                _check_one, [path.as_posix() for path in files],
+                [tuple(select) if select else None] * len(files),
+                chunksize=max(1, len(files) // (4 * jobs))))
+    else:
+        batches = [check_file(path, rules) for path in files]
+    findings = [finding for batch in batches for finding in batch
+                if finding.fingerprint() not in accepted]
+    return findings, len(files)
 
 
 def _list_rules() -> str:
@@ -133,7 +152,36 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write current findings to FILE and exit 0")
     parser.add_argument("--list-rules", action="store_true",
                         help="list registered rules and exit")
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="scan files with N worker processes "
+                             "(0/1 = serial; order-identical output)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print findings-per-rule, file count and "
+                             "scan time")
     return parser
+
+
+def _stats_summary(findings: t.Sequence[Finding], nfiles: int,
+                   elapsed_s: float) -> dict[str, t.Any]:
+    per_rule: dict[str, int] = {}
+    for finding in findings:
+        per_rule[finding.rule] = per_rule.get(finding.rule, 0) + 1
+    return {"files_scanned": nfiles,
+            "scan_time_ms": round(elapsed_s * 1000, 1),
+            "findings_per_rule": dict(sorted(per_rule.items()))}
+
+
+def _format_stats(stats: dict[str, t.Any]) -> str:
+    lines = [f"stats: {stats['files_scanned']} file(s) in "
+             f"{stats['scan_time_ms']} ms"]
+    per_rule = stats["findings_per_rule"]
+    if per_rule:
+        width = max(len(name) for name in per_rule)
+        lines += [f"  {name:<{width}} {count}"
+                  for name, count in per_rule.items()]
+    else:
+        lines.append("  no findings")
+    return "\n".join(lines)
 
 
 def main(argv: t.Sequence[str] | None = None,
@@ -144,25 +192,34 @@ def main(argv: t.Sequence[str] | None = None,
         print(_list_rules(), file=out)
         return EXIT_CLEAN
     select = (args.select.split(",") if args.select else None)
+    # Dev tooling, not simulation: scan timing cannot perturb a run.
+    import time
+    start = time.perf_counter()  # staticcheck: ignore[no-wallclock] tool timing, not sim state
     try:
         findings, nfiles = run(args.paths, select=select,
-                               baseline=args.baseline)
+                               baseline=args.baseline, jobs=args.jobs)
     except (FileNotFoundError, KeyError, ValueError) as exc:
         print(f"error: {exc}", file=out)
         return EXIT_ERROR
+    elapsed = time.perf_counter() - start  # staticcheck: ignore[no-wallclock] tool timing, not sim state
+    stats = _stats_summary(findings, nfiles, elapsed)
     if args.update_baseline:
         count = baseline_mod.write(args.update_baseline, findings)
         print(f"wrote {count} fingerprint(s) to {args.update_baseline}",
               file=out)
         return EXIT_CLEAN
     if args.fmt == "json":
-        print(json.dumps({"files_checked": nfiles,
-                          "findings": [f.to_json() for f in findings]},
-                         indent=2), file=out)
+        payload = {"files_checked": nfiles,
+                   "findings": [f.to_json() for f in findings]}
+        if args.stats:
+            payload["stats"] = stats
+        print(json.dumps(payload, indent=2), file=out)
     else:
         for finding in findings:
             print(finding.format(), file=out)
         status = ("clean" if not findings
                   else f"{len(findings)} finding(s)")
         print(f"staticcheck: {nfiles} file(s), {status}", file=out)
+        if args.stats:
+            print(_format_stats(stats), file=out)
     return EXIT_FINDINGS if findings else EXIT_CLEAN

@@ -26,11 +26,15 @@ class Suppressions:
         self._by_line: dict[int, set[str]] = {}
         self.mentioned: set[str] = set()
         for i, text in enumerate(lines, start=1):
-            match = _MARKER.search(text)
-            if not match:
+            # Collect *every* pragma on the line — a second
+            # ``ignore[...]`` after the first must not be dropped.
+            rules: set[str] = set()
+            for match in _MARKER.finditer(text):
+                rules |= {name.strip()
+                          for name in match.group(1).split(",")
+                          if name.strip()}
+            if not rules:
                 continue
-            rules = {name.strip() for name in match.group(1).split(",")
-                     if name.strip()}
             self.mentioned |= rules
             self._by_line.setdefault(i, set()).update(rules)
             if _COMMENT_ONLY.match(text):

@@ -223,3 +223,110 @@ def test_cli_staticcheck_subcommand(tmp_path, capsys):
     captured = capsys.readouterr()
     assert "no-wallclock" in captured.out
     assert cli_main(["staticcheck", str(PACKAGE_DIR / "sim")]) == 0
+
+
+def test_multiple_pragmas_on_one_line(tmp_path):
+    # Two violations on one line, silenced by two separate markers —
+    # the second pragma must not be swallowed by the first.
+    path = write_fixture(tmp_path, "repro/sim/x.py", """
+        import time
+        def stamp(sim):
+            return sim.timeout(1.5), time.time()  # staticcheck: ignore[units-discipline] fixture # staticcheck: ignore[no-wallclock] fixture
+    """)
+    rules = [get_rule("units-discipline"), get_rule("no-wallclock")]
+    # Each rule alone would flag the line ...
+    unsuppressed = write_fixture(tmp_path, "repro/sim/y.py", """
+        import time
+        def stamp(sim):
+            return sim.timeout(1.5), time.time()
+    """)
+    assert {f.rule for f in check_file(unsuppressed, rules)} == {
+        "units-discipline", "no-wallclock"}
+    # ... and both pragmas together silence both.
+    assert check_file(path, rules) == []
+
+
+def test_multiple_pragmas_mixed_with_comma_list(tmp_path):
+    from repro.staticcheck.suppress import Suppressions
+    sup = Suppressions(
+        ["x = f()  # staticcheck: ignore[rule-a, rule-b] one "
+         "# staticcheck: ignore[rule-c] two"])
+    assert sup.matches("rule-a", 1)
+    assert sup.matches("rule-b", 1)
+    assert sup.matches("rule-c", 1)
+    assert not sup.matches("rule-d", 1)
+    assert sup.mentioned == {"rule-a", "rule-b", "rule-c"}
+
+
+# --- parallel scanning ----------------------------------------------------
+
+def test_jobs_matches_serial_findings(tmp_path):
+    for i in range(4):
+        write_fixture(tmp_path, f"repro/sim/mod{i}.py", f"""
+            import time
+            def stamp{i}():
+                return time.time()
+        """)
+    write_fixture(tmp_path, "repro/sim/clean.py",
+                  "def f(sim):\n    return sim.now\n")
+    serial, n_serial = run([tmp_path])
+    parallel, n_parallel = run([tmp_path], jobs=2)
+    assert n_serial == n_parallel == 5
+    assert serial == parallel           # same findings, same order
+    assert len(serial) == 4
+
+
+def test_jobs_respects_select(tmp_path):
+    path = write_fixture(tmp_path, "repro/sim/x.py", """
+        import time
+        def stamp(sim):
+            sim.timeout(1.5)
+            return time.time()
+    """)
+    write_fixture(tmp_path, "repro/sim/z.py",
+                  "def g(sim):\n    return sim.now\n")
+    findings, _ = run([tmp_path], select=["units-discipline"], jobs=2)
+    assert {f.rule for f in findings} == {"units-discipline"}
+
+
+# --- stats ----------------------------------------------------------------
+
+def test_stats_text_output(tmp_path):
+    path = write_fixture(tmp_path, "repro/sim/x.py", """
+        import time
+        def stamp():
+            return time.time()
+    """)
+    out = io.StringIO()
+    assert sc_main([str(path), "--stats"], out=out) == 1
+    text = out.getvalue()
+    assert "stats: 1 file(s) in" in text
+    assert "no-wallclock 1" in text
+
+
+def test_stats_json_output(tmp_path):
+    path = write_fixture(tmp_path, "repro/sim/x.py", """
+        import time
+        def stamp():
+            return time.time()
+    """)
+    out = io.StringIO()
+    assert sc_main([str(path), "--format", "json", "--stats"],
+                   out=out) == 1
+    payload = json.loads(out.getvalue())
+    assert payload["stats"]["files_scanned"] == 1
+    assert payload["stats"]["findings_per_rule"] == {"no-wallclock": 1}
+    assert payload["stats"]["scan_time_ms"] >= 0
+
+
+def test_cli_staticcheck_jobs_and_stats_passthrough(tmp_path, capsys):
+    path = write_fixture(tmp_path, "repro/sim/x.py", """
+        import time
+        def stamp():
+            return time.time()
+    """)
+    assert cli_main(["staticcheck", str(path), "--jobs", "2",
+                     "--stats"]) == 1
+    captured = capsys.readouterr()
+    assert "no-wallclock" in captured.out
+    assert "stats:" in captured.out

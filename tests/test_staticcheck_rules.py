@@ -372,3 +372,129 @@ def test_hotpath_alloc_respects_suppression(tmp_path):
                 return entry
     """)
     assert findings == []
+
+
+# --- lease-guard ---------------------------------------------------------
+
+def test_lease_guard_flags_unlocked_queue_lifecycle(tmp_path):
+    findings = run_rule(tmp_path, "lease-guard", """
+        class NvmeManager:
+            def _grant(self, qid, entries):
+                yield from self.admin.create_io_cq(qid, entries, 0)
+                yield from self.admin.create_io_sq(qid, entries, 0, qid)
+    """, rel="repro/driver/manager.py")
+    assert [f.rule for f in findings] == ["lease-guard", "lease-guard"]
+    assert "_admin_lock" in findings[0].message
+
+
+def test_lease_guard_passes_locked_calls(tmp_path):
+    findings = run_rule(tmp_path, "lease-guard", """
+        class NvmeManager:
+            def _grant(self, qid, entries):
+                lock = self._admin_lock.request()
+                yield lock
+                try:
+                    yield from self.admin.create_io_cq(qid, entries, 0)
+                    yield from self.admin.create_io_sq(qid, entries, 0,
+                                                       qid)
+                finally:
+                    self._admin_lock.release(lock)
+    """, rel="repro/driver/manager.py")
+    assert findings == []
+
+
+def test_lease_guard_scoped_to_the_manager(tmp_path):
+    # The same unlocked call outside repro/driver/manager.py is not the
+    # manager's admin path and stays out of scope.
+    findings = run_rule(tmp_path, "lease-guard", """
+        class Harness:
+            def bootstrap(self, qid):
+                yield from self.admin.create_io_cq(qid, 64, 0)
+    """, rel="repro/driver/helper.py")
+    assert findings == []
+
+
+# --- window-epoch --------------------------------------------------------
+
+def test_window_epoch_flags_blind_tenancy_change(tmp_path):
+    findings = run_rule(tmp_path, "window-epoch", """
+        def admit(qp, widx, tenant):
+            qp.tenants[widx] = tenant
+            return widx
+    """, rel="repro/driver/manager.py")
+    assert [f.rule for f in findings] == ["window-epoch"]
+    assert "win_next_tail" in findings[0].message
+
+
+def test_window_epoch_passes_with_handoff_state(tmp_path):
+    findings = run_rule(tmp_path, "window-epoch", """
+        def admit(qp, widx, tenant):
+            if widx in qp.draining:
+                return None
+            qp.tenants[widx] = tenant
+            return qp.win_next_tail[widx]
+    """, rel="repro/driver/manager.py")
+    assert findings == []
+
+
+def test_window_epoch_scoped_to_the_driver(tmp_path):
+    findings = run_rule(tmp_path, "window-epoch", """
+        def admit(qp, widx, tenant):
+            qp.tenants[widx] = tenant
+    """, rel="repro/scenarios/fake.py")
+    assert findings == []
+
+
+# --- sanitizer-hook ------------------------------------------------------
+
+def test_sanitizer_hook_flags_unhooked_ring_mutation(tmp_path):
+    findings = run_rule(tmp_path, "sanitizer-hook", """
+        class Ring:
+            def advance_head(self):
+                slot = self.head
+                self.head = (self.head + 1) % self.entries
+                return slot
+    """, rel="repro/nvme/queues.py")
+    assert [f.rule for f in findings] == ["sanitizer-hook"]
+    assert "ShareSan" in findings[0].message
+
+
+def test_sanitizer_hook_passes_hooked_mutation(tmp_path):
+    findings = run_rule(tmp_path, "sanitizer-hook", """
+        class Ring:
+            def advance_head(self):
+                san = self.sanitizer
+                if san.enabled:
+                    san.on_sq_fetch(self)
+                slot = self.head
+                self.head = (self.head + 1) % self.entries
+                return slot
+    """, rel="repro/nvme/queues.py")
+    assert findings == []
+
+
+def test_sanitizer_hook_covers_extent_stores_and_suppression(tmp_path):
+    flagged = run_rule(tmp_path, "sanitizer-hook", """
+        class Mem:
+            def poke(self, index, data):
+                self._extents[index] = data
+    """, rel="repro/memory/physmem.py")
+    assert [f.rule for f in flagged] == ["sanitizer-hook"]
+    suppressed = run_rule(tmp_path, "sanitizer-hook", """
+        class Mem:
+            def poke(self, index, data):
+                # staticcheck: ignore[sanitizer-hook] debug backdoor
+                self._extents[index] = data
+    """, rel="repro/memory/physmem.py")
+    assert suppressed == []
+
+
+def test_sanitizer_hook_scoped_to_choke_points(tmp_path):
+    # Ring-index mutation outside physmem/queues (e.g. the client's SQ
+    # head reclaim) is out of scope by design.
+    findings = run_rule(tmp_path, "sanitizer-hook", """
+        class Client:
+            def _dispatch(self, cqe):
+                self.head = cqe.sq_head
+    """, rel="repro/driver/client.py")
+    assert findings == []
