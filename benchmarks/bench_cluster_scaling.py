@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Cluster scale-out: does aggregate IOPS grow with added devices?
+
+PR 5 pushed *clients* past the controller's 31-QP ceiling; this bench
+opens the other axis — *devices*.  The same 64 clients run against a
+cluster of 1, 2 and 4 single-function controllers (one per host,
+placement spreading one volume per client across the least-loaded
+backend).  One device forces the full shared-QP machinery (64 tenants
+on 31 QPs); four devices give every backend a comfortable 16 private
+QPs plus four times the media channels.
+
+The acceptance gate (``--check``) requires the 4-device aggregate to
+reach at least 3.5x the single-device baseline *and* match the numbers
+recorded in ``BENCH_cluster_scaling.json`` (the run is deterministic,
+so agreement is exact up to a small float tolerance).
+
+Usage::
+
+    python benchmarks/bench_cluster_scaling.py                # full run
+    python benchmarks/bench_cluster_scaling.py --quick        # CI smoke
+    python benchmarks/bench_cluster_scaling.py --quick --check    # gate
+    python benchmarks/bench_cluster_scaling.py --record       # rebaseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis import format_table                       # noqa: E402
+from repro.scenarios import cluster_scale_out                 # noqa: E402
+from repro.workloads import FioJob, run_fio_many              # noqa: E402
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BASELINE = pathlib.Path(__file__).resolve().parents[1] \
+    / "BENCH_cluster_scaling.json"
+
+N_CLIENTS = 64
+DEVICE_COUNTS = (1, 2, 4)
+QD = 8
+#: ios per client, (full, quick)
+IOS = {"full": 100, "quick": 30}
+MIN_SCALING = 3.5        # 4-device aggregate vs 1-device baseline
+TOLERANCE = 0.02         # allowed drift vs the recorded baseline
+
+
+def run_devices(n_devices: int, quick: bool) -> dict:
+    ios = IOS["quick" if quick else "full"]
+    scn = cluster_scale_out(N_CLIENTS, n_devices=n_devices, seed=11,
+                            queue_depth=QD)
+    jobs = [(vol, FioJob(name=f"v{i}", rw="randread", bs=4096,
+                         iodepth=QD, total_ios=ios,
+                         region_lbas=1 << 20, seed_stream=f"fio{i}"))
+            for i, vol in enumerate(scn.volumes)]
+    results = run_fio_many(jobs)
+    assert all(r.ios == ios and r.errors == 0 for r in results)
+    assert sum(c.timeouts for c in scn.subclients) == 0
+    assert sum(m.admission_rejections for m in scn.managers.values()) == 0
+    assert sum(m.cqes_orphaned for m in scn.managers.values()) == 0
+    agg = sum(r.iops for r in results)
+    med = sum(r.summary("read").median for r in results) / len(results)
+    shared = sum(1 for c in scn.subclients if c._shared)
+    return {"devices": n_devices, "clients": N_CLIENTS,
+            "shared_tenants": shared, "agg_iops": agg,
+            "per_client_iops": agg / N_CLIENTS, "median_lat_ns": med}
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small I/O counts (CI smoke)")
+    ap.add_argument("--check", action="store_true",
+                    help="fail unless 4-device aggregate >= "
+                         f"{MIN_SCALING}x the 1-device baseline and "
+                         "matches BENCH_cluster_scaling.json")
+    ap.add_argument("--record", action="store_true",
+                    help="write the measured numbers as the new "
+                         "baseline")
+    args = ap.parse_args(argv)
+    profile = "quick" if args.quick else "full"
+
+    rows = [run_devices(n, args.quick) for n in DEVICE_COUNTS]
+    art = format_table(
+        ["devices", "clients", "shared tenants", "aggregate kIOPS",
+         "per-client kIOPS", "median lat (us)", "scaling"],
+        [[s["devices"], s["clients"], s["shared_tenants"],
+          f"{s['agg_iops'] / 1e3:.1f}",
+          f"{s['per_client_iops'] / 1e3:.1f}",
+          f"{s['median_lat_ns'] / 1e3:.2f}",
+          f"{s['agg_iops'] / rows[0]['agg_iops']:.2f}x"]
+         for s in rows],
+        title=f"{N_CLIENTS} clients across N shared NVMe devices "
+              f"(4 KiB randread, QD={QD} per client)")
+    print(art)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "cluster_scaling.txt").write_text(art + "\n")
+
+    measured = {str(s["devices"]): round(s["agg_iops"], 3) for s in rows}
+    scaling = rows[-1]["agg_iops"] / rows[0]["agg_iops"]
+
+    if args.record:
+        recorded = json.loads(BASELINE.read_text()) \
+            if BASELINE.exists() else {}
+        recorded[profile] = {
+            "clients": N_CLIENTS, "queue_depth": QD,
+            "ios_per_client": IOS[profile], "agg_iops": measured,
+            "scaling_4_over_1": round(scaling, 4)}
+        BASELINE.write_text(json.dumps(recorded, indent=2,
+                                       sort_keys=True) + "\n")
+        print(f"recorded {profile} baseline -> {BASELINE.name}")
+
+    if args.check:
+        verdict = "OK" if scaling >= MIN_SCALING else "REGRESSION"
+        print(f"4-device / 1-device aggregate: {scaling:.2f}x "
+              f"(gate {MIN_SCALING}x)  {verdict}")
+        if scaling < MIN_SCALING:
+            return 1
+        if not BASELINE.exists():
+            print(f"FAIL: no recorded baseline {BASELINE.name} "
+                  f"(run with --record)")
+            return 1
+        recorded = json.loads(BASELINE.read_text()).get(profile)
+        if recorded is None:
+            print(f"FAIL: baseline has no {profile!r} profile")
+            return 1
+        for devices, iops in recorded["agg_iops"].items():
+            got = measured[devices]
+            drift = abs(got - iops) / iops
+            if drift > TOLERANCE:
+                print(f"FAIL: {devices}-device aggregate {got:.0f} "
+                      f"drifted {drift:.1%} from recorded {iops:.0f}")
+                return 1
+        print(f"baseline match: all {len(recorded['agg_iops'])} device "
+              f"counts within {TOLERANCE:.0%} of {BASELINE.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

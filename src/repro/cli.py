@@ -16,7 +16,8 @@ import sys
 import typing as t
 
 from .analysis import Fig10Report, format_table, render_boxplots
-from .scenarios import (FIG10_SCENARIOS, build_fig10_scenario, multihost)
+from .scenarios import (FIG10_SCENARIOS, build_fig10_scenario, cluster,
+                        multihost)
 from .sim import BoxplotStats
 from .units import parse_size
 from .workloads import FioJob, run_fio, run_fio_many
@@ -99,6 +100,34 @@ def _cmd_multihost(args: argparse.Namespace) -> int:
     rows.append(["TOTAL", f"{total / 1e3:.1f}", ""])
     print(format_table(["host", "kIOPS", "median lat (us)"], rows,
                        title=f"{args.clients} clients sharing one NVMe"))
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    scenario = cluster(n_clients=args.clients, n_devices=args.devices,
+                       width=args.width, replicas=args.replicas,
+                       seed=args.seed, queue_depth=args.iodepth)
+    jobs = [(vol, FioJob(name=f"v{i}", rw=args.rw,
+                         bs=parse_size(args.bs),
+                         iodepth=args.iodepth, total_ios=args.ios,
+                         region_lbas=min(1 << 20,
+                                         vol.capacity_lbas)))
+            for i, vol in enumerate(scenario.volumes)]
+    results = run_fio_many(jobs)
+    rows = []
+    total = 0.0
+    for vol, result in zip(scenario.volumes, results):
+        rows.append([result.device_name,
+                     "+".join(str(d) for d in vol.layout.devices),
+                     f"{result.iops / 1e3:.1f}",
+                     f"{result.errors}"])
+        total += result.iops
+    rows.append(["TOTAL", "", f"{total / 1e3:.1f}", ""])
+    print(format_table(["volume", "devices", "kIOPS", "errors"], rows,
+                       title=f"{args.clients} clients on "
+                             f"{args.devices} shared NVMe devices "
+                             f"(width={args.width} "
+                             f"replicas={args.replicas})"))
     return 0
 
 
@@ -222,6 +251,24 @@ def build_parser() -> argparse.ArgumentParser:
     mh.add_argument("--ios", type=int, default=300)
     mh.add_argument("--seed", type=int, default=42)
     mh.set_defaults(func=_cmd_multihost)
+
+    cl = sub.add_parser(
+        "cluster",
+        help="M clients on N shared devices with striped/replicated "
+             "volumes (ANA-style multipath)")
+    cl.add_argument("--clients", type=int, default=8)
+    cl.add_argument("--devices", type=int, default=2)
+    cl.add_argument("--width", type=int, default=1,
+                    help="member devices per volume")
+    cl.add_argument("--replicas", type=int, default=1,
+                    help="copies of each chunk (<= width)")
+    cl.add_argument("--rw", default="randread",
+                    choices=["randread", "randwrite", "randrw"])
+    cl.add_argument("--bs", default="4k")
+    cl.add_argument("--iodepth", type=int, default=4)
+    cl.add_argument("--ios", type=int, default=300)
+    cl.add_argument("--seed", type=int, default=42)
+    cl.set_defaults(func=_cmd_cluster)
 
     tele = sub.add_parser(
         "telemetry",

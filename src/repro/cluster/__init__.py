@@ -1,0 +1,31 @@
+"""Cluster block layer: N shared controllers behind one namespace.
+
+The paper shares *one* single-function NVMe device among many hosts;
+this package scales the other axis — many such devices composed into a
+cluster block store.  Three pieces:
+
+* :mod:`~repro.cluster.layout` — pure address math: chunked striping
+  with optional replicas (``VolumeLayout``);
+* :mod:`~repro.cluster.placement` — manager-side scheduler choosing
+  least-loaded devices for new volumes (``PlacementScheduler``,
+  ``ClusterCoordinator``);
+* :mod:`~repro.cluster.volume` — the client-side ANA-style multipath
+  block device (``ClusterVolume``) that retries reads down surviving
+  replicas and fans writes out to all of them.
+
+See docs/cluster.md for the failover semantics contract.
+"""
+
+from .layout import Extent, LayoutError, VolumeLayout
+from .placement import (Backend, ClusterCoordinator, PlacementError,
+                        PlacementScheduler)
+from .volume import (ANA_INACCESSIBLE, ANA_OPTIMIZED,
+                     PATH_FAILING_STATUSES, STATUS_NO_PATH, ClusterVolume)
+
+__all__ = [
+    "Extent", "LayoutError", "VolumeLayout",
+    "Backend", "ClusterCoordinator", "PlacementError",
+    "PlacementScheduler",
+    "ANA_INACCESSIBLE", "ANA_OPTIMIZED", "PATH_FAILING_STATUSES",
+    "STATUS_NO_PATH", "ClusterVolume",
+]

@@ -4,9 +4,9 @@ block-device abstraction."""
 
 from .adminq import AdminError, AdminQueues
 from .blockdev import BlockDevice, BlockError, BlockRequest
-from .client import (STATUS_HOST_CRASHED, STATUS_HOST_SHUTDOWN,
-                     STATUS_HOST_TIMEOUT, ClientError,
-                     DistributedNvmeClient)
+from .client import (HOST_PATH_STATUSES, STATUS_HOST_CRASHED,
+                     STATUS_HOST_SHUTDOWN, STATUS_HOST_TIMEOUT,
+                     ClientError, DistributedNvmeClient)
 from .dmapool import DmaPool, local_pool
 from .manager import ManagerError, NvmeManager
 from .spdk_local import SpdkLocalDriver
@@ -20,5 +20,6 @@ __all__ = [
     "NvmeManager", "ManagerError",
     "DistributedNvmeClient", "ClientError",
     "STATUS_HOST_TIMEOUT", "STATUS_HOST_SHUTDOWN", "STATUS_HOST_CRASHED",
+    "HOST_PATH_STATUSES",
     "StockNvmeDriver", "SpdkLocalDriver", "StripedBlockDevice",
 ]

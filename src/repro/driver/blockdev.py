@@ -38,6 +38,9 @@ class BlockRequest:
 
     #: ops that carry host data toward the device
     DATA_OUT_OPS = ("write", "compare")
+    #: ops that change media state (replicated layers land these on
+    #: every live copy; "compare" only reads one)
+    MUTATING_OPS = ("write", "write_zeroes")
 
     def __post_init__(self) -> None:
         if self.op not in ("read", "write", "flush", "write_zeroes",

@@ -54,6 +54,12 @@ STATUS_HOST_TIMEOUT = 0x7_01    # command timed out after all retries
 STATUS_HOST_SHUTDOWN = 0x7_02   # client shut down with the I/O in flight
 STATUS_HOST_CRASHED = 0x7_03    # client was killed with the I/O in flight
 
+#: the complete host-side set: one of these means "the *path* died",
+#: never "the device answered" — multipath layers key failover on it.
+HOST_PATH_STATUSES = frozenset({STATUS_HOST_TIMEOUT,
+                                STATUS_HOST_SHUTDOWN,
+                                STATUS_HOST_CRASHED})
+
 _IO_OPCODES = {"read": IoOpcode.READ,
                "write": IoOpcode.WRITE,
                "compare": IoOpcode.COMPARE,

@@ -144,6 +144,9 @@ class NvmeManager:
         self.admission_rejections = 0
         self.cqes_forwarded = 0
         self.cqes_orphaned = 0
+        #: namespace size learned from IDENTIFY during :meth:`start`;
+        #: the cluster placement scheduler budgets against this.
+        self.capacity_lbas = 0
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -176,6 +179,7 @@ class NvmeManager:
 
         yield from self.admin.enable_controller()
         ident = yield from self.admin.identify_namespace(1)
+        self.capacity_lbas = ident.nsze
         nqueues = yield from self.admin.get_queue_count()
         self._free_qids = list(range(1, nqueues + 1))
 

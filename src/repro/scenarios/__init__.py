@@ -5,6 +5,8 @@ from .builders import (FIG10_SCENARIOS, MultiHostScenario, Scenario,
                        nvmeof_remote, ours_local, ours_remote,
                        scale_out_cluster)
 from .chaos import CHAOS_RELIABILITY, ChaosScenario, chaos_cluster
+from .cluster import (ClusterScenario, cluster, cluster_scale_out,
+                      widen_sharing)
 from .testbed import LocalTestbed, PcieTestbed, RdmaTestbed
 
 __all__ = [
@@ -13,4 +15,5 @@ __all__ = [
     "build_fig10_scenario", "local_linux", "nvmeof_remote",
     "ours_local", "ours_remote", "multihost", "scale_out_cluster",
     "ChaosScenario", "chaos_cluster", "CHAOS_RELIABILITY",
+    "ClusterScenario", "cluster", "cluster_scale_out", "widen_sharing",
 ]

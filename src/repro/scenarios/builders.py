@@ -231,24 +231,11 @@ def scale_out_cluster(n_clients: int = 64,
     The default 64 clients need 33 more seats than the controller has
     queue pairs; the builder widens the shared-QP reserve so capacity
     covers ``n_clients`` and lets admission place the overflow."""
+    from .cluster import widen_sharing
     cfg = config or SimulationConfig()
-    limit = cfg.nvme.max_queue_pairs - 1
-    share = cfg.sharing
-    if not share.enabled:
+    if not cfg.sharing.enabled:
         raise ValueError("scale_out_cluster requires sharing.enabled")
-    reserve = share.reserved_qps
-    while (reserve < limit
-           and dataclasses.replace(
-               share, reserved_qps=reserve).capacity(limit) < n_clients):
-        reserve += 1
-    if dataclasses.replace(
-            share, reserved_qps=reserve).capacity(limit) < n_clients:
-        raise ValueError(
-            f"{n_clients} clients exceed even a fully shared "
-            f"controller ({limit} QPs x {share.windows_per_qp} windows)")
-    if reserve != share.reserved_qps:
-        cfg = dataclasses.replace(
-            cfg, sharing=dataclasses.replace(share, reserved_qps=reserve))
+    cfg = widen_sharing(cfg, n_clients)
     return multihost(n_clients, config=cfg, seed=seed,
                      queue_depth=queue_depth, telemetry=telemetry,
                      sanitizer=sanitizer)

@@ -42,6 +42,21 @@ CHAOS_RELIABILITY = ReliabilityConfig(
 )
 
 
+def with_chaos_reliability(base: SimulationConfig,
+                           reliability: ReliabilityConfig | None = None,
+                           ) -> SimulationConfig:
+    """Resolve the reliability profile for a fault-injected run.
+
+    The caller's explicit choice wins; the all-off default (under which
+    every injected fault is a silent hang) falls back to
+    :data:`CHAOS_RELIABILITY`.
+    """
+    rel = reliability or base.reliability
+    if rel.command_timeout_ns == 0 and rel.lease_timeout_ns == 0:
+        rel = CHAOS_RELIABILITY
+    return dataclasses.replace(base, reliability=rel)
+
+
 @dataclasses.dataclass
 class ChaosScenario:
     """A live cluster plus its fault-injection plumbing."""
@@ -92,11 +107,8 @@ def chaos_cluster(n_clients: int = 4,
     The injector is created but **not started**; tests start it (and the
     workload) so nothing fires before the cluster is fully up.
     """
-    base = config or SimulationConfig()
-    rel = reliability or base.reliability
-    if rel.command_timeout_ns == 0 and rel.lease_timeout_ns == 0:
-        rel = CHAOS_RELIABILITY
-    base = dataclasses.replace(base, reliability=rel)
+    base = with_chaos_reliability(config or SimulationConfig(),
+                                  reliability)
 
     n_hosts = 1 + n_clients
     bed = PcieTestbed(config=base, n_hosts=max(2, n_hosts),

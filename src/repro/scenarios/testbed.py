@@ -78,6 +78,7 @@ class PcieTestbed:
 
         self.nvme: NvmeController | None = None
         self.nvme_device_id: int | None = None
+        self.nvme_device_ids: list[int] = []
         if with_nvme:
             self.nvme = self.install_nvme(0, media=media)
 
@@ -94,6 +95,7 @@ class PcieTestbed:
                               media=media, tracer=self.tracer)
         ctrl.install(host, node, self.fabric)
         device_id = self.smartio.register_device(ctrl)
+        self.nvme_device_ids.append(device_id)
         if self.nvme_device_id is None:
             self.nvme_device_id = device_id
         return ctrl

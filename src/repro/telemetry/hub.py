@@ -62,6 +62,7 @@ class Telemetry:
         self._clients: list[t.Any] = []
         self._devices: list[t.Any] = []
         self._managers: list[t.Any] = []
+        self._volumes: list[t.Any] = []
         self._faults: t.Any = None
 
     # -- wiring ------------------------------------------------------------
@@ -72,6 +73,7 @@ class Telemetry:
                clients: t.Iterable[t.Any] = (),
                devices: t.Iterable[t.Any] = (),
                managers: t.Iterable[t.Any] = (),
+               volumes: t.Iterable[t.Any] = (),
                faults: t.Any = None) -> "Telemetry":
         """Register components for collection and point their
         ``telemetry`` attribute here.  Idempotent per component."""
@@ -90,6 +92,9 @@ class Telemetry:
             self._add(self._devices, dev)
         for mgr in managers:
             self._add(self._managers, mgr)
+        for vol in volumes:
+            self._add(self._volumes, vol)
+            self._add(self._devices, vol)      # volumes are block devices
         return self
 
     def _add(self, bucket: list[t.Any], obj: t.Any) -> None:
@@ -117,6 +122,8 @@ class Telemetry:
             self._collect_client(client)
         for mgr in self._managers:
             self._collect_manager(mgr)
+        for vol in self._volumes:
+            self._collect_volume(vol)
         if self._faults is not None:
             self._collect_faults(self._faults)
         return m
@@ -229,28 +236,57 @@ class Telemetry:
 
     def _collect_manager(self, mgr: t.Any) -> None:
         m = self.metrics
+        # Single-manager hubs keep the historical unlabeled series;
+        # cluster hubs (several managers) label by device so the
+        # per-backend series do not clobber each other.
+        extra = ({"device_id": mgr.device_id}
+                 if len(self._managers) > 1 else {})
         m.counter_set("repro_manager_rpcs_total", mgr.rpcs_served,
-                      help="admin mailbox RPCs served")
+                      help="admin mailbox RPCs served", **extra)
         m.counter_set("repro_manager_leases_reclaimed_total",
                       mgr.leases_reclaimed,
-                      help="dead clients reclaimed by the lease watchdog")
+                      help="dead clients reclaimed by the lease watchdog",
+                      **extra)
         m.gauge_set("repro_manager_queues_in_use", mgr.queues_in_use,
-                    help="I/O queue pairs currently allocated to clients")
+                    help="I/O queue pairs currently allocated to clients",
+                    **extra)
         m.counter_set("repro_manager_admission_rejections_total",
                       mgr.admission_rejections,
-                      help="queue-pair requests refused with RPC_NO_QUEUES")
+                      help="queue-pair requests refused with RPC_NO_QUEUES",
+                      **extra)
         m.counter_set("repro_qp_cqes_forwarded_total", mgr.cqes_forwarded,
-                      help="shared-CQ entries demuxed into tenant mailboxes")
+                      help="shared-CQ entries demuxed into tenant mailboxes",
+                      **extra)
         m.counter_set("repro_qp_cqes_orphaned_total", mgr.cqes_orphaned,
-                      help="shared-CQ entries for dead/unknown tenants")
+                      help="shared-CQ entries for dead/unknown tenants",
+                      **extra)
         for qid in sorted(mgr.shared_qps):
             qp = mgr.shared_qps[qid]
             m.gauge_set("repro_qp_tenants", qp.tenant_count,
                         help="tenants admitted onto a shared queue pair",
-                        qid=qid)
+                        qid=qid, **extra)
             m.gauge_set("repro_qp_windows_free", qp.free_windows,
                         help="unreserved slot windows on a shared queue pair",
-                        qid=qid)
+                        qid=qid, **extra)
+
+    def _collect_volume(self, vol: t.Any) -> None:
+        m = self.metrics
+        name = vol.name
+        m.counter_set("repro_cluster_failovers_total", vol.failovers,
+                      help="reads redirected to a surviving replica",
+                      volume=name)
+        m.counter_set("repro_cluster_path_errors_total", vol.path_errors,
+                      help="host-status failures observed on member paths",
+                      volume=name)
+        m.counter_set("repro_cluster_degraded_writes_total",
+                      vol.degraded_writes,
+                      help="writes that landed on fewer replicas than "
+                      "configured", volume=name)
+        m.gauge_set("repro_cluster_paths_live", vol.live_paths,
+                    help="member paths in the ANA optimized state",
+                    volume=name)
+        m.gauge_set("repro_cluster_paths", vol.layout.width,
+                    help="member paths configured", volume=name)
 
     def _collect_faults(self, faults: t.Any) -> None:
         m = self.metrics

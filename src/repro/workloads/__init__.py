@@ -5,13 +5,13 @@ from .fio import FioJob, FioResult, fio_generator, run_fio, run_fio_many
 from .patterns import (BurstyArrivals, MixedBlockProfile, PatternResult,
                        PROFILES, ZipfianAccess, pattern_generator,
                        run_pattern)
-from .replay import (BlockTrace, RecordingDevice, ReplayResult,
-                     TraceEntry, replay_trace)
+from .replay import (TRACE_OPS, BlockTrace, RecordingDevice,
+                     ReplayResult, TraceEntry, TraceError, replay_trace)
 
 __all__ = ["FioJob", "FioResult", "fio_generator", "run_fio",
            "run_fio_many",
            "ZipfianAccess", "BurstyArrivals", "MixedBlockProfile",
            "PROFILES", "PatternResult", "pattern_generator",
            "run_pattern",
-           "BlockTrace", "TraceEntry", "RecordingDevice",
-           "ReplayResult", "replay_trace"]
+           "BlockTrace", "TraceEntry", "TraceError", "TRACE_OPS",
+           "RecordingDevice", "ReplayResult", "replay_trace"]

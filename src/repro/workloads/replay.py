@@ -11,12 +11,20 @@ which flatters it; a replayed trace does not.
 from __future__ import annotations
 
 import dataclasses
+import json
 import typing as t
 
 import numpy as np
 
 from ..driver.blockdev import BlockDevice, BlockRequest
 from ..sim import Event, LatencyRecorder
+
+#: the only ops a portable trace may carry
+TRACE_OPS = ("read", "write")
+
+
+class TraceError(ValueError):
+    """A malformed trace record (parse- or validation-time)."""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -25,6 +33,25 @@ class TraceEntry:
     op: str                  # "read" | "write"
     lba: int
     nblocks: int
+
+    #: exactly the wire fields, in canonical order
+    FIELDS = ("arrival_ns", "op", "lba", "nblocks")
+
+    def validate(self) -> "TraceEntry":
+        if self.op not in TRACE_OPS:
+            raise TraceError(f"unknown op {self.op!r} "
+                             f"(expected one of {TRACE_OPS})")
+        for field in ("arrival_ns", "lba", "nblocks"):
+            value = getattr(self, field)
+            # bool is an int subclass; a trace with "lba": true is junk.
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise TraceError(f"{field} must be an integer, "
+                                 f"got {value!r}")
+            if value < 0:
+                raise TraceError(f"{field} must be >= 0, got {value}")
+        if self.nblocks == 0:
+            raise TraceError("nblocks must be >= 1")
+        return self
 
 
 @dataclasses.dataclass
@@ -52,6 +79,66 @@ class BlockTrace:
         return BlockTrace([dataclasses.replace(
             e, arrival_ns=int(e.arrival_ns * factor))
             for e in self.entries])
+
+    # -- portable form -----------------------------------------------------
+
+    def as_dicts(self) -> list[dict]:
+        """Plain-data view: one dict per entry, canonical field order."""
+        return [{f: getattr(e, f) for f in TraceEntry.FIELDS}
+                for e in self.entries]
+
+    @classmethod
+    def from_dicts(cls, records: t.Iterable[dict]) -> "BlockTrace":
+        """Rebuild a trace from plain dicts, validating every record.
+
+        Raises :class:`TraceError` naming the offending record number
+        for unknown/missing fields, bad types, negative values, an op
+        outside :data:`TRACE_OPS`, or out-of-order arrivals.
+        """
+        trace = cls()
+        for i, record in enumerate(records, start=1):
+            if not isinstance(record, dict):
+                raise TraceError(f"record {i}: expected an object, "
+                                 f"got {type(record).__name__}")
+            unknown = set(record) - set(TraceEntry.FIELDS)
+            if unknown:
+                raise TraceError(f"record {i}: unknown field(s) "
+                                 f"{sorted(unknown)}")
+            missing = set(TraceEntry.FIELDS) - set(record)
+            if missing:
+                raise TraceError(f"record {i}: missing field(s) "
+                                 f"{sorted(missing)}")
+            try:
+                entry = TraceEntry(**record).validate()
+                trace.append(entry)
+            except TraceError as exc:
+                raise TraceError(f"record {i}: {exc}") from None
+            except ValueError as exc:
+                raise TraceError(f"record {i}: {exc}") from None
+        return trace
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line — the interchange format."""
+        return "".join(json.dumps(rec, sort_keys=True) + "\n"
+                       for rec in self.as_dicts())
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "BlockTrace":
+        """Parse :meth:`to_jsonl` output, validating each line.
+
+        Blank lines are tolerated; anything else malformed raises
+        :class:`TraceError` with the 1-based line number.
+        """
+        records: list[dict] = []
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"line {lineno}: invalid JSON "
+                                 f"({exc.msg})") from None
+        return cls.from_dicts(records)
 
 
 class RecordingDevice(BlockDevice):

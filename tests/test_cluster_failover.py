@@ -1,0 +1,169 @@
+"""Device-kill chaos on the cluster: ANA failover under fire.
+
+The contract being proven: when 1 of N devices dies mid-run, every
+in-flight I/O either completes on a surviving path or fails with a
+defined status — nothing is lost, nothing completes twice (a duplicate
+completion would blow up ``Event.succeed``, and ShareSan watches the
+queue machinery independently).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ANA_INACCESSIBLE, ANA_OPTIMIZED, STATUS_NO_PATH
+from repro.driver import STATUS_HOST_TIMEOUT
+from repro.faults import FaultEvent, FaultPlan
+from repro.scenarios import cluster
+from repro.workloads import FioJob, fio_generator
+
+#: permanently stall nvme1 while the workload is in full flight
+KILL_NVME1 = FaultPlan((FaultEvent(at_ns=150_000, action="ctrl_stall",
+                                   target="ctrl:nvme1", duration_ns=0),))
+
+#: every status a cluster I/O may legally carry after the kill
+DEFINED_STATUSES = {0, STATUS_HOST_TIMEOUT, STATUS_NO_PATH}
+
+
+def _run_replicated(sanitizer: bool, ios: int = 150):
+    """4 replicated volumes over 2 devices; kill one device mid-run."""
+    scn = cluster(n_clients=4, n_devices=2, width=2, replicas=2,
+                  seed=1309, queue_depth=8, faults=True,
+                  plan=KILL_NVME1, sanitizer=sanitizer)
+    scn.injector.start()
+    procs = [scn.sim.process(fio_generator(
+        vol, FioJob(name=f"j{i}", rw="randrw", iodepth=4,
+                    total_ios=ios, seed_stream=f"fio{i}")))
+        for i, vol in enumerate(scn.volumes)]
+    scn.sim.run(until=scn.sim.timeout(500_000_000))
+    assert all(p.triggered for p in procs)
+    results = [(p.value.ios, p.value.errors) for p in procs]
+    return scn, procs, results
+
+
+class TestReplicatedFailover:
+    """With a surviving replica, the kill is invisible to callers."""
+
+    def test_no_lost_or_duplicated_completions(self):
+        ios = 150
+        scn, procs, results = _run_replicated(sanitizer=False, ios=ios)
+        # Every submitted I/O came back exactly once: the generator
+        # counted ios completions, and the block layer agrees.
+        assert results == [(ios, 0)] * 4
+        for vol in scn.volumes:
+            assert vol.completed == ios
+            assert vol.errors == 0
+        # The dead device's paths were demoted; the survivor carried
+        # the rest of the run.
+        for vol in scn.volumes:
+            assert vol.path_states == [ANA_OPTIMIZED, ANA_INACCESSIBLE] \
+                or vol.path_states == [ANA_INACCESSIBLE, ANA_OPTIMIZED]
+            assert vol.path_errors > 0
+            assert vol.degraded_writes > 0
+        assert sum(v.failovers for v in scn.volumes) > 0
+        # Sub-client accounting is closed: everything the volumes
+        # fanned out was completed by a path, with the only failures
+        # being the host-timeout verdicts on the dead device.
+        for sub in scn.subclients:
+            assert len(sub._inflight) == 0
+        # The trace shows the fault firing before the first path-down.
+        faults = scn.trace_log("fault")
+        downs = scn.trace_log("cluster")
+        assert faults and downs
+        assert faults[0][0] <= downs[0][0]
+
+    def test_sharesan_cross_check_clean_and_bit_identical(self):
+        scn_on, _procs, results_on = _run_replicated(sanitizer=True)
+        assert scn_on.sanitizer is not None
+        assert scn_on.sanitizer.clean, scn_on.sanitizer.findings
+        trace_on = scn_on.trace_log()
+        scn_off, _procs, results_off = _run_replicated(sanitizer=False)
+        assert results_on == results_off
+        assert trace_on == scn_off.trace_log()
+
+
+class TestUnreplicatedFailure:
+    """Without replicas, dead-device I/O fails with a *defined* status."""
+
+    def test_defined_statuses_only_and_nothing_lost(self):
+        ios = 120
+        statuses: list[list[int]] = [[] for _ in range(4)]
+
+        def consumer(sim, vol, jar, n):
+            from repro.driver import BlockRequest
+            stream = sim.rng.stream(f"load:{vol.name}")
+            for _ in range(n):
+                op = "read" if stream.random() < 0.5 else "write"
+                lba = int(stream.integers(0, vol.capacity_lbas - 8))
+                if op == "write":
+                    req = BlockRequest("write", lba=lba, data=b"x" * 4096)
+                else:
+                    req = BlockRequest("read", lba=lba, nblocks=8)
+                req = yield vol.submit(req)
+                jar.append(req.status)
+
+        scn = cluster(n_clients=4, n_devices=2, width=1, replicas=1,
+                      seed=1310, queue_depth=8, faults=True,
+                      plan=KILL_NVME1)
+        scn.injector.start()
+        procs = [scn.sim.process(consumer(scn.sim, vol, statuses[i], ios))
+                 for i, vol in enumerate(scn.volumes)]
+        scn.sim.run(until=scn.sim.timeout(800_000_000))
+        assert all(p.triggered for p in procs)
+        # Placement spread the 4 single-member volumes over 2 devices,
+        # so some volumes lived on the killed one.
+        dead = [vol for vol in scn.volumes
+                if vol.layout.devices == (2,)]
+        live = [vol for vol in scn.volumes
+                if vol.layout.devices == (1,)]
+        assert len(dead) == 2 and len(live) == 2
+        for i, vol in enumerate(scn.volumes):
+            # Nothing lost: every submission produced exactly one
+            # status, and only defined ones.
+            assert len(statuses[i]) == ios
+            assert set(statuses[i]) <= DEFINED_STATUSES
+            assert vol.completed == ios
+        for vol in live:
+            assert vol.errors == 0
+            assert vol.path_states == [ANA_OPTIMIZED]
+        for vol in dead:
+            # First loss is the timeout verdict, the rest see no path.
+            idx = scn.volumes.index(vol)
+            assert STATUS_NO_PATH in statuses[idx]
+            assert vol.path_states == [ANA_INACCESSIBLE]
+            assert vol.errors > 0
+
+
+class TestLinkFailover:
+    """An NTB link cut isolates one member host — same contract."""
+
+    def test_link_down_triggers_failover(self):
+        plan = FaultPlan((FaultEvent(at_ns=150_000, action="link_down",
+                                     target="link:host1",
+                                     duration_ns=0),))
+        scn = cluster(n_clients=3, n_devices=2, width=2, replicas=2,
+                      seed=1311, queue_depth=8, faults=True, plan=plan)
+        scn.injector.start()
+        ios = 120
+        procs = [scn.sim.process(fio_generator(
+            vol, FioJob(name=f"j{i}", rw="randrw", iodepth=4,
+                        total_ios=ios, seed_stream=f"fio{i}")))
+            for i, vol in enumerate(scn.volumes)]
+        scn.sim.run(until=scn.sim.timeout(800_000_000))
+        assert all(p.triggered for p in procs)
+        for p, vol in zip(procs, scn.volumes):
+            assert (p.value.ios, p.value.errors) == (ios, 0)
+            # host1 holds nvme1/device 2: that member went dark.
+            assert ANA_INACCESSIBLE in vol.path_states
+            assert ANA_OPTIMIZED in vol.path_states
+
+
+class TestFailoverRejectsBadWiring:
+    def test_volume_needs_matching_paths(self):
+        scn = cluster(n_clients=1, n_devices=2, width=2, replicas=2,
+                      seed=1312)
+        from repro.cluster import ClusterVolume
+        from repro.driver.blockdev import BlockError
+        vol = scn.volumes[0]
+        with pytest.raises(BlockError):
+            ClusterVolume(scn.sim, vol.layout, vol.paths[:1])

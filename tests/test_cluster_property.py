@@ -1,0 +1,212 @@
+"""Property tests for the cluster address math and placement.
+
+The layout is the load-bearing wall of the cluster block store: if
+``locate``/``inverse`` disagree, two volumes (or two replicas) silently
+alias each other's blocks.  These tests drive randomized geometries —
+chunk sizes, device counts, replica counts, volume sizes — through the
+round-trip, coverage and no-overlap properties, and pin the scheduler
+to its deterministic least-loaded contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (LayoutError, PlacementError,
+                           PlacementScheduler, VolumeLayout)
+
+#: Geometry generator: small enough to enumerate exhaustively, wide
+#: enough to hit every modular-arithmetic corner (width 1, partial
+#: final chunks, partial final rows, replicas == width).
+geometries = st.integers(1, 5).flatmap(lambda width: st.tuples(
+    st.just(width),
+    st.integers(1, width),              # replicas <= width
+    st.integers(1, 9),                  # stripe_lbas
+    st.integers(1, 180),                # capacity_lbas
+))
+
+
+def make_layout(geom) -> VolumeLayout:
+    width, replicas, stripe, capacity = geom
+    return VolumeLayout(name="t", devices=tuple(range(10, 10 + width)),
+                        stripe_lbas=stripe, capacity_lbas=capacity,
+                        replicas=replicas)
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(geometries, st.data())
+    def test_locate_inverse_round_trip(self, geom, data):
+        layout = make_layout(geom)
+        lba = data.draw(st.integers(0, layout.capacity_lbas - 1))
+        replica = data.draw(st.integers(0, layout.replicas - 1))
+        member, member_lba = layout.locate(lba, replica)
+        assert 0 <= member < layout.width
+        assert 0 <= member_lba < layout.member_lbas
+        assert layout.inverse(member, member_lba) == (lba, replica)
+
+    @settings(max_examples=100, deadline=None)
+    @given(geometries)
+    def test_replicas_of_a_chunk_land_on_distinct_members(self, geom):
+        layout = make_layout(geom)
+        for chunk in range(layout.nchunks):
+            lba = chunk * layout.stripe_lbas
+            members = {layout.locate(lba, r)[0]
+                       for r in range(layout.replicas)}
+            assert len(members) == layout.replicas
+
+
+class TestCoverage:
+    """Exhaustive map over the whole (small) volume: dense, no overlap."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(geometries)
+    def test_no_overlap_and_full_coverage(self, geom):
+        layout = make_layout(geom)
+        seen: dict[tuple[int, int], tuple[int, int]] = {}
+        for lba in range(layout.capacity_lbas):
+            for replica in range(layout.replicas):
+                addr = layout.locate(lba, replica)
+                assert addr not in seen, (
+                    f"{addr} holds both {seen[addr]} and "
+                    f"{(lba, replica)}")
+                seen[addr] = (lba, replica)
+        # Exactly capacity x replicas member blocks are used ...
+        assert len(seen) == layout.capacity_lbas * layout.replicas
+        # ... and every other address in the footprint is the unused
+        # tail of the final row: inverse() rejects it, nothing else.
+        for member in range(layout.width):
+            for member_lba in range(layout.member_lbas):
+                if (member, member_lba) in seen:
+                    lba, replica = layout.inverse(member, member_lba)
+                    assert seen[(member, member_lba)] == (lba, replica)
+                else:
+                    with pytest.raises(LayoutError):
+                        layout.inverse(member, member_lba)
+
+    @settings(max_examples=100, deadline=None)
+    @given(geometries, st.data())
+    def test_split_partitions_the_extent(self, geom, data):
+        layout = make_layout(geom)
+        lba = data.draw(st.integers(0, layout.capacity_lbas - 1))
+        nblocks = data.draw(
+            st.integers(1, layout.capacity_lbas - lba))
+        extents = layout.split(lba, nblocks)
+        # Contiguous, in order, covering exactly [lba, lba+nblocks).
+        offset = 0
+        for extent in extents:
+            assert extent.offset_blocks == offset
+            assert len(extent.targets) == layout.replicas
+            # The whole extent sits inside one chunk on each replica.
+            for replica, (member, member_lba) in \
+                    enumerate(extent.targets):
+                first = layout.locate(lba + offset, replica)
+                last = layout.locate(lba + offset + extent.nblocks - 1,
+                                     replica)
+                assert first == (member, member_lba)
+                assert last == (member, member_lba + extent.nblocks - 1)
+            offset += extent.nblocks
+        assert offset == nblocks
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(2, 5), st.integers(1, 9), st.integers(2, 120),
+           st.data())
+    def test_unreplicated_layout_matches_stripe_math(self, width,
+                                                     stripe, capacity,
+                                                     data):
+        """R=1 degenerates to driver/stripe.py's RAID-0 arithmetic."""
+        layout = VolumeLayout(name="t", devices=tuple(range(width)),
+                              stripe_lbas=stripe, capacity_lbas=capacity)
+        lba = data.draw(st.integers(0, capacity - 1))
+        stripe_index, within = divmod(lba, stripe)
+        expect = (stripe_index % width,
+                  (stripe_index // width) * stripe + within)
+        assert layout.locate(lba) == expect
+
+
+class TestLayoutValidation:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(LayoutError):
+            VolumeLayout("t", (), 8, 100)
+        with pytest.raises(LayoutError):
+            VolumeLayout("t", (1, 1), 8, 100)
+        with pytest.raises(LayoutError):
+            VolumeLayout("t", (1, 2), 0, 100)
+        with pytest.raises(LayoutError):
+            VolumeLayout("t", (1, 2), 8, 0)
+        with pytest.raises(LayoutError):
+            VolumeLayout("t", (1, 2), 8, 100, replicas=3)
+
+    def test_rejects_out_of_range_addresses(self):
+        layout = VolumeLayout("t", (1, 2), 8, 100, replicas=2)
+        with pytest.raises(LayoutError):
+            layout.locate(100)
+        with pytest.raises(LayoutError):
+            layout.locate(0, replica=2)
+        with pytest.raises(LayoutError):
+            layout.inverse(2, 0)
+        with pytest.raises(LayoutError):
+            layout.inverse(0, layout.member_lbas)
+        with pytest.raises(LayoutError):
+            layout.split(96, 8)      # runs past the 100-LBA end
+
+
+class TestPlacementScheduler:
+    def _scheduler(self, capacities) -> PlacementScheduler:
+        sched = PlacementScheduler()
+        for device_id, capacity in capacities.items():
+            sched.register(device_id, capacity)
+        return sched
+
+    def test_least_loaded_wins_with_id_tie_break(self):
+        sched = self._scheduler({3: 1000, 1: 1000, 2: 1000})
+        assert sched.place(1, 100) == (1,)      # all even: lowest id
+        assert sched.place(1, 100) == (2,)
+        assert sched.place(1, 100) == (3,)
+        assert sched.place(2, 100) == (1, 2)    # round comes back
+        # Device 3 now has the least allocated (100 vs 200).
+        assert sched.place(1, 50) == (3,)
+
+    def test_load_is_fractional_not_absolute(self):
+        sched = self._scheduler({1: 1000, 2: 100})
+        sched.place(1, 80)                       # -> device 1 (tie: id)
+        # 80/1000 = 8% on device 1 vs 0% on device 2.
+        assert sched.place(1, 10) == (2,)
+        # 10/100 = 10% on device 2 > 8% on device 1.
+        assert sched.place(1, 10) == (1,)
+
+    def test_rejects_when_no_fit(self):
+        sched = self._scheduler({1: 100, 2: 100})
+        with pytest.raises(PlacementError):
+            sched.place(1, 101)
+        with pytest.raises(PlacementError):
+            sched.place(3, 10)
+        assert sched.rejections == 2
+        sched.place(2, 100)                      # exact fit still works
+        with pytest.raises(PlacementError):
+            sched.place(1, 1)                    # now truly full
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(1, 50), min_size=1, max_size=20),
+           st.integers(2, 8))
+    def test_placement_is_balanced_for_equal_volumes(self, sizes,
+                                                     n_devices):
+        """Equal backends + equal volumes => counts differ by <= 1."""
+        per_volume = 10
+        capacity = per_volume * len(sizes) * 2
+        sched = self._scheduler({d: capacity
+                                 for d in range(n_devices)})
+        for _ in sizes:
+            sched.place(1, per_volume)
+        counts = [b.volumes for b in sched.backends]
+        assert max(counts) - min(counts) <= 1
+
+    def test_release_returns_the_reservation(self):
+        sched = self._scheduler({1: 100})
+        layout = VolumeLayout("v", (1,), 10, 50)
+        sched.place(1, layout.member_lbas)
+        sched.release(layout)
+        backend = sched.backends[0]
+        assert backend.allocated_lbas == 0 and backend.volumes == 0

@@ -5,8 +5,9 @@ process state.  Guards the reproducibility claim in EXPERIMENTS.md."""
 import numpy as np
 
 from repro.faults import FaultEvent, FaultPlan
-from repro.scenarios import (chaos_cluster, multihost, nvmeof_remote,
-                             ours_remote, scale_out_cluster)
+from repro.scenarios import (chaos_cluster, cluster, multihost,
+                             nvmeof_remote, ours_remote,
+                             scale_out_cluster)
 from repro.sim.rng import RngRegistry
 from repro.workloads import FioJob, fio_generator, run_fio, run_fio_many
 
@@ -79,6 +80,62 @@ class TestSharedQpDeterminism:
         baseline = self._run()
         monkeypatch.setenv("REPRO_NO_ROUTE_CACHE", "1")
         assert self._run() == baseline
+
+
+class TestClusterDeterminism:
+    """Multi-device cluster runs fall under the same bit-identical
+    discipline: placement, striping, multipath retries and every
+    exported telemetry byte are functions of the seed alone."""
+
+    def _digest(self, seed=777, sanitizer=False):
+        scn = cluster(n_clients=8, n_devices=2, width=2, replicas=2,
+                      seed=seed, queue_depth=4, telemetry=True,
+                      sanitizer=sanitizer)
+        jobs = [(vol, FioJob(name=f"j{i}", rw="randrw", iodepth=4,
+                             total_ios=12, seed_stream=f"fio{i}"))
+                for i, vol in enumerate(scn.volumes)]
+        results = run_fio_many(jobs)
+        assert all(r.ios == 12 and r.errors == 0 for r in results)
+        tele = scn.telemetry
+        assert tele is not None
+        series = [r.read_latencies.values().tolist() for r in results]
+        return (tele.prometheus_text(), tele.perfetto_json()), series
+
+    def test_cluster_digest_identical_across_runs(self):
+        first_bytes, first_series = self._digest()
+        second_bytes, second_series = self._digest()
+        assert first_bytes == second_bytes
+        assert first_series == second_series
+        assert "repro_cluster_paths_live" in first_bytes[0]
+        assert self._digest(seed=778)[1] != first_series
+
+    def test_sanitizer_is_zero_perturbation_on_cluster(self):
+        on_bytes, on_series = self._digest(sanitizer=True)
+        off_bytes, off_series = self._digest(sanitizer=False)
+        assert on_bytes == off_bytes
+        assert on_series == off_series
+
+    KILL = FaultPlan((FaultEvent(150_000, "ctrl_stall", "ctrl:nvme1",
+                                 duration_ns=0),))
+
+    def _chaos_trace(self, seed):
+        scn = cluster(n_clients=3, n_devices=2, width=2, replicas=2,
+                      seed=seed, queue_depth=4, faults=True,
+                      plan=self.KILL)
+        scn.injector.start()
+        procs = [scn.sim.process(fio_generator(
+            vol, FioJob(name=f"j{i}", rw="randrw", iodepth=4,
+                        total_ios=80, seed_stream=f"fio{i}")))
+            for i, vol in enumerate(scn.volumes)]
+        scn.sim.run(until=scn.sim.timeout(500_000_000))
+        assert all(p.triggered for p in procs)
+        return scn.trace_log()
+
+    def test_device_kill_replay_is_bit_identical(self):
+        first = self._chaos_trace(881)
+        assert first == self._chaos_trace(881)
+        assert any(r[1] == "cluster" for r in first)    # failover seen
+        assert first != self._chaos_trace(882)
 
 
 class TestChaosDeterminism:
