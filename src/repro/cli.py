@@ -161,6 +161,60 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_slo(args: argparse.Namespace) -> int:
+    # Lazy import, like _cmd_telemetry: plain simulation commands
+    # never pay for the exporter stack.
+    import pathlib
+
+    from .telemetry import run_slo
+
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    kill = not args.no_kill
+    print(f"running SLO chaos run ({args.clients} clients x "
+          f"{args.devices} devices, ios={args.ios} seed={args.seed}, "
+          f"kill={'on' if kill else 'off'}) ...")
+    run = run_slo(n_clients=args.clients, n_devices=args.devices,
+                  ios=args.ios, seed=args.seed, iodepth=args.iodepth,
+                  bs=parse_size(args.bs), width=args.width,
+                  replicas=args.replicas, interval_ns=args.interval_ns,
+                  kill=kill)
+    series_path = out_dir / "slo-timeseries.jsonl"
+    report_path = out_dir / "slo-report.json"
+    trace_path = out_dir / "slo-trace.json"
+    prom_path = out_dir / "slo-metrics.prom"
+    series_path.write_text(run.timeseries_jsonl())
+    report_path.write_text(run.slo_report_json())
+    trace_path.write_text(run.perfetto_json())
+    prom_path.write_text(run.prometheus_text())
+
+    if run.killed:
+        print(f"  killed {run.killed} at t={run.kill_at_ns} ns "
+              f"(victim tenants: {', '.join(run.victims) or 'none'})")
+    report = run.report
+    rows = []
+    for tenant, info in sorted(report["tenants"].items()):
+        alerts = info["alerts"]
+        fired = "; ".join(
+            f"fired@{a['fired_at_ns']}"
+            + (f" resolved@{a['resolved_at_ns']}"
+               if a["resolved_at_ns"] is not None else " (active)")
+            for a in alerts) or "-"
+        rows.append([tenant, f"{info['compliance']:.4f}",
+                     "yes" if info["met"] else "NO", fired])
+    spec = report["spec"]
+    print(format_table(
+        ["tenant", "compliance", "met", "burn-rate alerts"], rows,
+        title=f"SLO '{spec['name']}': {spec['target']:.0%} within "
+              f"{spec['objective_ns']} ns"))
+    for path in (series_path, report_path, trace_path, prom_path):
+        print(f"  wrote {path} ({path.stat().st_size} bytes)")
+    if args.check and kill and not report["alerts"]:
+        print("CHECK FAILED: device kill produced no burn-rate alert")
+        return 1
+    return 0
+
+
 def _cmd_staticcheck(args: argparse.Namespace) -> int:
     # Imported lazily: the checker is a dev tool and pulls in nothing
     # the simulation needs.
@@ -283,6 +337,32 @@ def build_parser() -> argparse.ArgumentParser:
     tele.add_argument("--out-dir", default="telemetry-out",
                       help="directory for the exported files")
     tele.set_defaults(func=_cmd_telemetry)
+
+    slo = sub.add_parser(
+        "slo",
+        help="device-kill chaos run under SLO watch: per-tenant "
+             "latency histograms, time series and burn-rate alerts")
+    slo.add_argument("--clients", type=int, default=4)
+    slo.add_argument("--devices", type=int, default=2)
+    slo.add_argument("--width", type=int, default=1,
+                     help="member devices per volume")
+    slo.add_argument("--replicas", type=int, default=1,
+                     help="copies of each chunk (2 = kill becomes a "
+                          "failover latency spike, not an error burn)")
+    slo.add_argument("--ios", type=int, default=400,
+                     help="I/Os per tenant")
+    slo.add_argument("--bs", default="4k")
+    slo.add_argument("--iodepth", type=int, default=4)
+    slo.add_argument("--seed", type=int, default=7)
+    slo.add_argument("--interval-ns", type=int, default=200_000,
+                     help="sampling interval (simulated ns)")
+    slo.add_argument("--no-kill", action="store_true",
+                     help="skip the device kill (healthy baseline)")
+    slo.add_argument("--out-dir", default="slo-out",
+                     help="directory for the exported files")
+    slo.add_argument("--check", action="store_true",
+                     help="exit non-zero if the kill fired no alert")
+    slo.set_defaults(func=_cmd_slo)
 
     sc = sub.add_parser("staticcheck",
                         help="run the AST invariant checker "

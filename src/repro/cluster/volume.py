@@ -74,6 +74,10 @@ class ClusterVolume(BlockDevice):
         super().__init__(sim, name or layout.name, lba_bytes=lba,
                          capacity_lbas=layout.capacity_lbas,
                          queue_depth=queue_depth)
+        # All member paths act for the one host that owns the volume;
+        # volume-level histogram records (including NO_PATH failures
+        # that never reach a member path) belong to that tenant.
+        self.tenant = paths[0].tenant
 
     # -- path state -------------------------------------------------------
 
@@ -83,6 +87,12 @@ class ClusterVolume(BlockDevice):
 
     def path_is_live(self, member: int) -> bool:
         return self.path_states[member] == ANA_OPTIMIZED
+
+    def path_health(self) -> tuple[int, ...]:
+        """Per-member 1/0 health vector, member order (for the
+        time-series sampler's ``cluster_path_health`` series)."""
+        return tuple(1 if s == ANA_OPTIMIZED else 0
+                     for s in self.path_states)
 
     def _demote(self, member: int, status: int) -> None:
         self.path_errors += 1

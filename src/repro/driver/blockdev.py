@@ -76,6 +76,9 @@ class BlockDevice:
         self.queue_depth = queue_depth
         self._tags = Resource(sim, capacity=queue_depth)
         self.telemetry = NULL_TELEMETRY
+        #: histogram tenant label; drivers that act for a remote host
+        #: override this with the host's name (see DistributedNvmeClient)
+        self.tenant = name
         self.latencies = LatencyRecorder(name)
         self.completed = 0
         self.errors = 0
@@ -131,8 +134,12 @@ class BlockDevice:
         finally:
             self._tags.release(tag)
         request.complete_time = self.sim._now
+        tele = self.telemetry
         if request.span is not None:
-            self.telemetry.spans.finish(request.span, request.complete_time)
+            tele.spans.finish(request.span, request.complete_time)
+        if tele.enabled and tele.hists is not None:
+            tele.hists.record_io(self.tenant, request.op, self.name,
+                                 request.latency_ns, ok=request.ok)
         self.latencies.record(request.latency_ns)
         self.completed += 1
         if not request.ok:

@@ -114,6 +114,10 @@ class DistributedNvmeClient(BlockDevice):
         super().__init__(sim, name or f"{node.host.name}-nvme",
                          lba_bytes=512, capacity_lbas=0,
                          queue_depth=queue_depth)
+        # Histograms key by tenant: the *host* this client acts for.
+        # A cluster host holds one path-client per member device, all
+        # sharing this label, so per-tenant series aggregate naturally.
+        self.tenant = node.host.name
         self.tracer = tracer
         self._cid = 0
         self._inflight: dict[int, Event] = {}

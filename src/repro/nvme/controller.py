@@ -204,6 +204,17 @@ class NvmeController(PCIeFunction):
         self.cqs.clear()
         self.regs.csts &= ~CSTS_RDY
 
+    def queue_occupancy(self) -> tuple[int, int]:
+        """Controller-wide ``(sq_backlog, cq_unacked)`` entry totals —
+        commands rung but not yet fetched, and completions posted but
+        not yet acknowledged — for the time-series sampler's occupancy
+        gauges (pure read, never perturbs the model)."""
+        sq_total = sum((sq.db_tail - sq.state.head) % sq.state.entries
+                       for sq in self.sqs.values())
+        cq_total = sum((cq.state.tail - cq.db_head) % cq.state.entries
+                       for cq in self.cqs.values())
+        return sq_total, cq_total
+
     # ------------------------------------------------------------- doorbells
 
     def _doorbell_write(self, offset: int, data: bytes) -> None:

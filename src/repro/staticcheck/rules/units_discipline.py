@@ -18,9 +18,10 @@ bit-reproducibility).  Flags:
   ``round()``/:func:`repro.units.serialize_ns` at the call site;
 * string literals passed to ``bs=``/``*_bytes=`` keywords where
   :func:`repro.units.parse_size` should be used;
-* float expressions passed positionally to ``.record(...)`` or
-  ``.observe(...)`` — the latency recorder and the telemetry metrics
-  registry both take integer nanoseconds.
+* float expressions passed positionally to ``.record(...)``,
+  ``.observe(...)`` or the latency-histogram ``.record_io(...)`` — the
+  latency recorder, the telemetry metrics registry and the per-tenant
+  histograms all take integer nanoseconds.
 """
 
 from __future__ import annotations
@@ -92,11 +93,14 @@ class UnitsDiscipline(Rule):
                 yield self.finding(
                     ctx, node.args[0],
                     f"float delay passed to timeout(): {_FIX_HINT}")
-        # Latency recorders and the telemetry metrics registry take
-        # integer ns: rec.record(v), metrics.observe(name, v, ...).
+        # Latency recorders, the telemetry metrics registry and the
+        # per-tenant histograms take integer ns: rec.record(v),
+        # metrics.observe(name, v, ...),
+        # hists.record_io(tenant, op, device, v, ...).
         if name is not None:
             method = name.rsplit(".", 1)[-1]
-            arg_index = {"record": 0, "observe": 1}.get(method)
+            arg_index = {"record": 0, "observe": 1,
+                         "record_io": 3}.get(method)
             if (arg_index is not None and len(node.args) > arg_index
                     and _is_floaty(node.args[arg_index])):
                 yield self.finding(

@@ -13,35 +13,55 @@ Three pieces:
   trace-event JSON and Prometheus text exposition, both byte-identical
   across identical runs.
 
+The ISSUE-8 time-series layer builds on those:
+
+* **Histograms** (:mod:`.hist`) — mergeable log-bucketed latency
+  histograms per ``(tenant, op, device)``;
+* **Time series** (:mod:`.timeseries`) — a sim-clock-driven windowed
+  sampler snapshotting gauges, rates and windowed quantiles into
+  ring-buffered series (JSONL / Perfetto counter-track exports);
+* **SLOs** (:mod:`.slo`) — latency objectives with multi-window
+  burn-rate alerting over the sampled windows.
+
 Everything is off by default: components carry a ``telemetry``
 attribute pointing at :data:`NULL_TELEMETRY`, and the hot paths pay one
 attribute/None check when disabled (the :class:`~repro.sim.Tracer`
-discipline).
+discipline); histograms/sampler/SLO are further opt-ins on a live hub
+(``enable_histograms`` / ``enable_sampler`` / ``enable_slo``).
 
-``run_scenario`` / ``TelemetryRun`` / ``TELEMETRY_SCENARIOS`` live in
-:mod:`.runner` and are loaded lazily here — the runner pulls in the
-scenario builders, which import the driver stack, which imports this
-package; importing it eagerly would make that cycle load-order
-sensitive.
+``run_scenario`` / ``run_slo`` and friends live in :mod:`.runner` and
+are loaded lazily here — the runner pulls in the scenario builders,
+which import the driver stack, which imports this package; importing it
+eagerly would make that cycle load-order sensitive.
 """
 
+from .hist import (DEFAULT_SUB_BITS, QUANTILES, HistogramError,
+                   LatencyHistograms, LogHistogram)
 from .hub import NULL_TELEMETRY, NullTelemetry, Telemetry
-from .metrics import (COUNTER, GAUGE, SUMMARY, MetricFamily, MetricsError,
-                      MetricsRegistry)
-from .perfetto import span_events, spans_to_perfetto
+from .metrics import (COUNTER, GAUGE, HISTOGRAM, SUMMARY, MetricFamily,
+                      MetricsError, MetricsRegistry)
+from .perfetto import COUNTER_PID, counter_events, span_events, \
+    spans_to_perfetto
 from .prometheus import registry_to_prometheus
+from .slo import SloAlert, SloEngine, SloSpec
 from .spans import BOUNDARIES, STAGES, IoSpan, SpanRecorder
+from .timeseries import SeriesBank, TelemetrySampler, TimeSeries
 
 __all__ = [
-    "BOUNDARIES", "COUNTER", "GAUGE", "SUMMARY", "STAGES",
-    "IoSpan", "MetricFamily", "MetricsError", "MetricsRegistry",
-    "NULL_TELEMETRY", "NullTelemetry", "SpanRecorder", "Telemetry",
-    "TelemetryRun", "TELEMETRY_SCENARIOS",
-    "registry_to_prometheus", "run_scenario", "span_events",
-    "spans_to_perfetto",
+    "BOUNDARIES", "COUNTER", "COUNTER_PID", "DEFAULT_SUB_BITS", "GAUGE",
+    "HISTOGRAM", "QUANTILES", "SUMMARY", "STAGES",
+    "HistogramError", "IoSpan", "LatencyHistograms", "LogHistogram",
+    "MetricFamily", "MetricsError", "MetricsRegistry",
+    "NULL_TELEMETRY", "NullTelemetry", "SeriesBank", "SloAlert",
+    "SloEngine", "SloSpec", "SpanRecorder", "Telemetry",
+    "TelemetrySampler", "TelemetryRun", "TimeSeries",
+    "TELEMETRY_SCENARIOS", "SloRun",
+    "counter_events", "registry_to_prometheus", "run_scenario",
+    "run_slo", "span_events", "spans_to_perfetto",
 ]
 
-_LAZY = ("run_scenario", "TelemetryRun", "TELEMETRY_SCENARIOS")
+_LAZY = ("run_scenario", "TelemetryRun", "TELEMETRY_SCENARIOS",
+         "run_slo", "SloRun")
 
 
 def __getattr__(name: str):

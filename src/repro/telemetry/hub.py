@@ -27,10 +27,14 @@ from __future__ import annotations
 import typing as t
 
 from ..sim.stats import iops as _iops
+from .hist import QUANTILES, LatencyHistograms, LogHistogram
 from .metrics import MetricsRegistry
 from .perfetto import spans_to_perfetto
 from .prometheus import registry_to_prometheus
+from .slo import SloEngine, SloSpec
 from .spans import SpanRecorder
+from .timeseries import (DEFAULT_CAPACITY, DEFAULT_INTERVAL_NS, SeriesBank,
+                         TelemetrySampler)
 
 if t.TYPE_CHECKING:  # pragma: no cover
     from ..sim import Simulator
@@ -42,6 +46,9 @@ class NullTelemetry:
     enabled = False
     spans: SpanRecorder | None = None
     metrics: MetricsRegistry | None = None
+    hists: LatencyHistograms | None = None
+    sampler: TelemetrySampler | None = None
+    slo: SloEngine | None = None
 
 
 NULL_TELEMETRY = NullTelemetry()
@@ -56,6 +63,13 @@ class Telemetry:
         self.sim = sim
         self.spans = SpanRecorder()
         self.metrics = MetricsRegistry()
+        #: per-(tenant, op, device) latency histograms — opt-in
+        #: (:meth:`enable_histograms`), like everything time-series
+        self.hists: LatencyHistograms | None = None
+        #: windowed sampler over the attached components — opt-in
+        self.sampler: TelemetrySampler | None = None
+        #: SLO burn-rate engine riding on the sampler — opt-in
+        self.slo: SloEngine | None = None
         self._fabric: t.Any = None
         self._ntbs: list[t.Any] = []
         self._controllers: list[t.Any] = []
@@ -64,6 +78,10 @@ class Telemetry:
         self._managers: list[t.Any] = []
         self._volumes: list[t.Any] = []
         self._faults: t.Any = None
+        #: (name, kind) -> last cumulative count, for windowed rates
+        self._rate_prev: dict[tuple[str, str], tuple[int, int]] = {}
+        #: hist key -> snapshot at the previous tick, for window diffs
+        self._hist_prev: dict[tuple[str, str, str], LogHistogram] = {}
 
     # -- wiring ------------------------------------------------------------
 
@@ -103,6 +121,107 @@ class Telemetry:
         if hasattr(obj, "telemetry"):
             obj.telemetry = self
 
+    # -- time-series / SLO opt-ins -----------------------------------------
+
+    def enable_histograms(self, sub_bits: int | None = None
+                          ) -> LatencyHistograms:
+        """Turn on per-(tenant, op, device) latency histograms."""
+        if self.hists is None:
+            self.hists = (LatencyHistograms(sub_bits)
+                          if sub_bits is not None else LatencyHistograms())
+        return self.hists
+
+    def enable_sampler(self, interval_ns: int = DEFAULT_INTERVAL_NS,
+                       capacity: int = DEFAULT_CAPACITY,
+                       start: bool = True) -> TelemetrySampler:
+        """Turn on the windowed time-series sampler with the default
+        source set (component gauges/rates plus, when histograms are
+        enabled, windowed latency quantiles).  ``start=True`` begins
+        ticking immediately; remember :meth:`TelemetrySampler.stop`
+        before a queue-draining ``sim.run()``."""
+        if self.sampler is None:
+            self.sampler = TelemetrySampler(self.sim, interval_ns, capacity)
+            self.sampler.add_source(self._sample_components)
+            self.sampler.add_source(self._sample_hists)
+        if start:
+            self.sampler.start()
+        return self.sampler
+
+    def enable_slo(self, spec: SloSpec | None = None) -> SloEngine:
+        """Turn on SLO burn-rate evaluation (implies histograms and the
+        sampler — the engine is one more sampler source)."""
+        if self.slo is None:
+            hists = self.enable_histograms()
+            sampler = self.enable_sampler(start=False)
+            self.slo = SloEngine(spec or SloSpec(), hists)
+            sampler.add_source(self.slo.sample)
+        return self.slo
+
+    # -- sampler sources ---------------------------------------------------
+
+    def _windowed_rate(self, key: tuple[str, str], count: int,
+                       now: int) -> float | None:
+        """Per-second rate of a cumulative count since the last tick
+        (None on the first tick — no window yet)."""
+        prev = self._rate_prev.get(key)
+        self._rate_prev[key] = (now, count)
+        if prev is None or now <= prev[0]:
+            return None
+        return round((count - prev[1]) * 1e9 / (now - prev[0]), 3)
+
+    def _sample_components(self, bank: SeriesBank, now: int) -> None:
+        """Default source: gauges and windowed rates of the attached
+        component set (pure reads — the determinism contract)."""
+        if self._fabric is not None:
+            fabric = self._fabric
+            bank.series("fabric_bytes_total", kind="posted").append(
+                now, fabric.posted_bytes)
+            bank.series("fabric_bytes_total", kind="nonposted").append(
+                now, fabric.read_bytes)
+        for dev in self._devices:
+            bank.series("io_completed_total",
+                        device=dev.name).append(now, dev.completed)
+            rate = self._windowed_rate(("iops", dev.name),
+                                       dev.completed, now)
+            if rate is not None:
+                bank.series("io_iops", device=dev.name).append(now, rate)
+        for client in self._clients:
+            bank.series("client_inflight", client=client.name).append(
+                now, len(client._inflight))
+        for ctrl in self._controllers:
+            sq_total, cq_total = ctrl.queue_occupancy()
+            bank.series("nvme_queue_occupancy", ctrl=ctrl.name,
+                        queue="sq").append(now, sq_total)
+            bank.series("nvme_queue_occupancy", ctrl=ctrl.name,
+                        queue="cq").append(now, cq_total)
+        for vol in self._volumes:
+            bank.series("cluster_paths_live", volume=vol.name).append(
+                now, vol.live_paths)
+            for device_id, health in zip(vol.layout.devices,
+                                         vol.path_health()):
+                bank.series("cluster_path_health", volume=vol.name,
+                            device_id=device_id).append(now, health)
+
+    def _sample_hists(self, bank: SeriesBank, now: int) -> None:
+        """Default source: windowed latency quantiles per histogram key
+        (snapshot diff since the previous tick; empty windows emit
+        nothing — there was no traffic to summarise)."""
+        if self.hists is None:
+            return
+        for key in self.hists.keys():
+            hist = self.hists.hist(*key)
+            if hist is None:
+                continue
+            prev = self._hist_prev.get(key)
+            window = hist.diff(prev) if prev is not None else hist
+            self._hist_prev[key] = hist.copy()
+            if not window.count:
+                continue
+            tenant, op, device = key
+            for q, label in QUANTILES:
+                bank.series(f"latency_{label}_ns", tenant=tenant, op=op,
+                            device=device).append(now, window.quantile(q))
+
     # -- collection --------------------------------------------------------
 
     def collect(self) -> MetricsRegistry:
@@ -126,6 +245,8 @@ class Telemetry:
             self._collect_volume(vol)
         if self._faults is not None:
             self._collect_faults(self._faults)
+        if self.hists is not None:
+            self._collect_hists(self.hists)
         return m
 
     def _collect_fabric(self, fabric: t.Any) -> None:
@@ -296,14 +417,46 @@ class Telemetry:
                           help="fault decisions taken by the registry",
                           kind=kind)
 
+    def _collect_hists(self, hists: LatencyHistograms) -> None:
+        m = self.metrics
+        for key in hists.keys():
+            tenant, op, device = key
+            hist = hists.hist(*key)
+            if hist is not None:
+                m.histogram_set("repro_io_latency_hist_ns", hist,
+                                help="per-tenant end-to-end request "
+                                "latency (log-bucketed)",
+                                tenant=tenant, op=op, device=device)
+            errors = hists.errors(*key)
+            if errors:
+                m.counter_set("repro_io_tenant_errors_total", errors,
+                              help="failed requests per tenant/op/device",
+                              tenant=tenant, op=op, device=device)
+
     # -- export ------------------------------------------------------------
 
     def perfetto_json(self) -> str:
-        """Span timelines as Chrome/Perfetto trace-event JSON."""
-        return spans_to_perfetto(self.spans.spans)
+        """Span timelines — plus sampled series as counter tracks when
+        the sampler is on — as Chrome/Perfetto trace-event JSON."""
+        bank = self.sampler.bank if self.sampler is not None else None
+        return spans_to_perfetto(self.spans.spans, bank)
 
     def prometheus_text(self, collect: bool = True) -> str:
         """Metrics snapshot as Prometheus text exposition."""
         if collect:
             self.collect()
         return registry_to_prometheus(self.metrics)
+
+    def timeseries_jsonl(self) -> str:
+        """Sampled series as JSONL (one line per sample; empty string
+        when the sampler was never enabled)."""
+        if self.sampler is None:
+            return ""
+        return self.sampler.bank.to_jsonl()
+
+    def slo_report_json(self) -> str:
+        """The SLO engine's compliance report as pretty JSON (empty
+        string when SLO evaluation was never enabled)."""
+        if self.slo is None:
+            return ""
+        return self.slo.report_json()

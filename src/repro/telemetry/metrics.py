@@ -25,6 +25,7 @@ from ..sim.stats import BoxplotStats, LatencyRecorder
 COUNTER = "counter"
 GAUGE = "gauge"
 SUMMARY = "summary"
+HISTOGRAM = "histogram"
 
 LabelDict = t.Mapping[str, t.Any]
 _LabelKey = tuple[tuple[str, str], ...]
@@ -128,6 +129,14 @@ class MetricsRegistry:
         :class:`BoxplotStats`) as a series."""
         fam = self._family(name, SUMMARY, help, "ns")
         fam.series[_label_key(labels)] = stats
+
+    def histogram_set(self, name: str, hist: t.Any, help: str = "",
+                      **labels: t.Any) -> None:
+        """Publish a :class:`~repro.telemetry.hist.LogHistogram` as a
+        classic Prometheus histogram series (set-style: collect() may
+        repeat without double counting)."""
+        fam = self._family(name, HISTOGRAM, help, "ns")
+        fam.series[_label_key(labels)] = hist
 
     # -- snapshot ----------------------------------------------------------
 

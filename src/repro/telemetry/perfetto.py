@@ -26,6 +26,13 @@ import typing as t
 
 from .spans import BOUNDARIES, STAGES, IoSpan
 
+if t.TYPE_CHECKING:  # pragma: no cover
+    from .timeseries import SeriesBank
+
+#: dedicated pid for sampled counter tracks — far above the device
+#: pids (0..n_devices-1) so span processes never collide with it.
+COUNTER_PID = 9999
+
 #: boundary -> canonical stage name that *ends* at it
 _STAGE_ENDING_AT = dict(zip(BOUNDARIES + ("end",), STAGES))
 
@@ -70,8 +77,39 @@ def span_events(span: IoSpan, pid: int) -> list[dict[str, t.Any]]:
     return events
 
 
-def spans_to_perfetto(spans: t.Sequence[IoSpan]) -> str:
-    """Serialise finished spans as a Chrome trace-event JSON document."""
+def counter_events(bank: "SeriesBank") -> list[dict[str, t.Any]]:
+    """Counter-track (``"ph": "C"``) events for every sampled series.
+
+    Each series becomes one counter track on the dedicated
+    :data:`COUNTER_PID` process, named ``<series>{k=v,...}``; Perfetto
+    renders these as stacked value-over-time tracks alongside the span
+    timelines.  Non-numeric samples are skipped (counter tracks only
+    plot numbers).
+    """
+    events: list[dict[str, t.Any]] = []
+    for ts in bank.all_series():
+        label = ts.name
+        if ts.labels:
+            label += "{" + ",".join(f"{k}={v}" for k, v in ts.labels) + "}"
+        for t_ns, value in ts.points():
+            if not isinstance(value, (int, float)):
+                continue
+            events.append({
+                "name": label,
+                "cat": "counter",
+                "ph": "C",
+                "ts": _us(t_ns),
+                "pid": COUNTER_PID,
+                "tid": 0,
+                "args": {"value": value},
+            })
+    return events
+
+
+def spans_to_perfetto(spans: t.Sequence[IoSpan],
+                      bank: "SeriesBank | None" = None) -> str:
+    """Serialise finished spans (plus, optionally, a sampler's series
+    as counter tracks) as a Chrome trace-event JSON document."""
     devices: list[str] = []
     pids: dict[str, int] = {}
     events: list[dict[str, t.Any]] = []
@@ -88,6 +126,12 @@ def spans_to_perfetto(spans: t.Sequence[IoSpan]) -> str:
         "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
         "args": {"name": device},
     } for device, pid in sorted(pids.items(), key=lambda kv: kv[1])]
+    if bank is not None and len(bank):
+        meta.append({
+            "name": "process_name", "ph": "M", "pid": COUNTER_PID,
+            "tid": 0, "args": {"name": "telemetry counters"},
+        })
+        events.extend(counter_events(bank))
     doc = {
         "displayTimeUnit": "ns",
         "traceEvents": meta + events,

@@ -16,7 +16,8 @@ from __future__ import annotations
 import typing as t
 
 from ..sim.stats import BoxplotStats
-from .metrics import COUNTER, GAUGE, SUMMARY, MetricsRegistry
+from .hist import LogHistogram
+from .metrics import COUNTER, GAUGE, HISTOGRAM, SUMMARY, MetricsRegistry
 
 #: BoxplotStats field -> exported quantile label
 _QUANTILES = (("q1", "0.25"), ("median", "0.5"),
@@ -35,13 +36,20 @@ def _fmt(value: t.Any) -> str:
     return repr(f)
 
 
+def _escape(value: str) -> str:
+    """Escape a label value per the text exposition format: backslash,
+    double quote and newline must be ``\\\\``, ``\\"`` and ``\\n``."""
+    return (str(value).replace("\\", "\\\\")
+            .replace('"', '\\"').replace("\n", "\\n"))
+
+
 def _labels(pairs: t.Mapping[str, str],
             extra: t.Sequence[tuple[str, str]] = ()) -> str:
     items = sorted(pairs.items())
     items += list(extra)
     if not items:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in items)
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in items)
     return "{" + body + "}"
 
 
@@ -60,6 +68,24 @@ def _summary_lines(name: str, labels: t.Mapping[str, str],
     return lines
 
 
+def _histogram_lines(name: str, labels: t.Mapping[str, str],
+                     hist: LogHistogram) -> list[str]:
+    """Classic histogram exposition: cumulative ``_bucket{le=...}``
+    lines (one per *occupied* log bucket — exact and bounded), the
+    mandatory ``le="+Inf"`` bucket, then ``_sum`` and ``_count``."""
+    lines = []
+    seen = 0
+    for idx, count in hist.buckets():
+        seen += count
+        le = ("le", str(hist.bucket_upper(idx)))
+        lines.append(f"{name}_bucket{_labels(labels, (le,))} {seen}")
+    lines.append(f"{name}_bucket{_labels(labels, (('le', '+Inf'),))} "
+                 f"{hist.count}")
+    lines.append(f"{name}_sum{_labels(labels)} {_fmt(hist.total)}")
+    lines.append(f"{name}_count{_labels(labels)} {_fmt(hist.count)}")
+    return lines
+
+
 def registry_to_prometheus(registry: MetricsRegistry) -> str:
     """Render the registry as Prometheus text exposition format."""
     lines: list[str] = []
@@ -72,6 +98,9 @@ def registry_to_prometheus(registry: MetricsRegistry) -> str:
             if family["kind"] == SUMMARY:
                 assert isinstance(value, BoxplotStats)
                 lines.extend(_summary_lines(name, labels, value))
+            elif family["kind"] == HISTOGRAM:
+                assert isinstance(value, LogHistogram)
+                lines.extend(_histogram_lines(name, labels, value))
             else:
                 assert family["kind"] in (COUNTER, GAUGE)
                 lines.append(f"{name}{_labels(labels)} {_fmt(value)}")

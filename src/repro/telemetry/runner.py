@@ -12,10 +12,13 @@ from __future__ import annotations
 import dataclasses
 import typing as t
 
-from ..faults import FaultPlan
-from ..scenarios import FIG10_SCENARIOS, build_fig10_scenario, chaos_cluster
+from ..config import ReliabilityConfig
+from ..faults import FaultEvent, FaultPlan
+from ..scenarios import (FIG10_SCENARIOS, build_fig10_scenario, chaos_cluster,
+                         cluster)
 from ..workloads import FioJob, fio_generator, run_fio
 from .hub import Telemetry
+from .slo import SloSpec
 
 #: Scenario names accepted by :func:`run_scenario`.
 TELEMETRY_SCENARIOS: tuple[str, ...] = FIG10_SCENARIOS + ("chaos",)
@@ -67,6 +70,111 @@ def run_scenario(name: str, ios: int = 200, seed: int = 7,
     result = run_fio(scenario.device, job)
     tele.collect()
     return TelemetryRun(scenario=name, telemetry=tele, results=[result])
+
+
+#: Reliability profile for the SLO chaos run: snappier than
+#: CHAOS_RELIABILITY so a killed device resolves to fast-failing
+#: NO_PATH within ~1.2 ms of simulated time instead of ~10.
+SLO_RELIABILITY = ReliabilityConfig(
+    command_timeout_ns=500_000,
+    max_retries=1,
+    retry_backoff_ns=100_000,
+    heartbeat_interval_ns=100_000,
+    lease_timeout_ns=1_000_000,
+    lease_check_interval_ns=250_000,
+)
+
+#: Default SLO for :func:`run_slo`: 95 % of requests within 300 us,
+#: multi-window burn alerting tuned to the run's millisecond scale.
+DEFAULT_SLO = SloSpec(name="latency", objective_ns=300_000, target=0.95,
+                      fast_window_ns=600_000, slow_window_ns=2_000_000,
+                      burn_threshold=2.0)
+
+
+@dataclasses.dataclass
+class SloRun:
+    """A finished SLO-instrumented chaos run."""
+
+    telemetry: Telemetry
+    results: list[t.Any]          # FioResult per drained workload, else None
+    kill_at_ns: int               # absolute sim time of the device kill
+    killed: str                   # fault point that was killed ("" if none)
+    victims: list[str]            # tenants whose volumes span the dead device
+    report: dict[str, t.Any]      # the SLO engine's compliance report
+
+    def perfetto_json(self) -> str:
+        return self.telemetry.perfetto_json()
+
+    def prometheus_text(self) -> str:
+        return self.telemetry.prometheus_text()
+
+    def timeseries_jsonl(self) -> str:
+        return self.telemetry.timeseries_jsonl()
+
+    def slo_report_json(self) -> str:
+        return self.telemetry.slo_report_json()
+
+
+def run_slo(n_clients: int = 4, n_devices: int = 2, ios: int = 400,
+            seed: int = 7, iodepth: int = 4, bs: int = 4096,
+            width: int = 1, replicas: int = 1,
+            interval_ns: int = 200_000, kill_ns: int = 1_000_000,
+            horizon_ns: int = 6_000_000, kill: bool = True,
+            spec: SloSpec | None = None) -> SloRun:
+    """The acceptance story: a device-kill chaos run under SLO watch.
+
+    Builds an ``n_clients`` x ``n_devices`` cluster, enables histograms
+    + sampler + SLO engine, permanently stalls the last controller at
+    ``kill_ns``, and runs one fio job per tenant to the horizon.  The
+    volume shape decides how the kill manifests:
+
+    * default ``width=1, replicas=1`` — placement alternates devices,
+      so the kill splits tenants into victims and bystanders; victims'
+      requests time out, retry, then fail fast with NO_PATH once ANA
+      demotes the dead path — a sustained error burn that fires the
+      burn-rate alert within the retry-resolution window;
+    * ``replicas=2`` — victims' reads fail over to the surviving
+      replica and writes degrade: slow *successes* that spike the
+      victims' windowed p99 series instead of erroring.
+
+    Fully seeded and sampler-read-only, so two calls with identical
+    arguments produce byte-identical exports.
+    """
+    sc = cluster(n_clients=n_clients, n_devices=n_devices, width=width,
+                 replicas=replicas, seed=seed, faults=kill, telemetry=True,
+                 reliability=SLO_RELIABILITY)
+    tele = sc.telemetry
+    assert tele is not None
+    tele.enable_histograms()
+    slo = tele.enable_slo(spec or DEFAULT_SLO)
+    sampler = tele.enable_sampler(interval_ns=interval_ns)
+
+    killed = ""
+    kill_at = -1
+    victims: list[str] = []
+    if kill:
+        assert sc.injector is not None
+        killed = sc.ctrl_points()[-1]
+        dead_device = list(sc.managers)[-1]   # insertion order = ctrl order
+        victims = sorted({vol.tenant for vol in sc.volumes
+                          if dead_device in vol.layout.devices})
+        sc.injector.plan = FaultPlan(
+            (FaultEvent(kill_ns, "ctrl_stall", killed, duration_ns=0),))
+        kill_at = sc.sim.now + kill_ns
+        sc.injector.start()
+
+    procs = []
+    for i, volume in enumerate(sc.volumes):
+        job = FioJob(name=f"t{i}", rw="randrw", bs=bs, iodepth=iodepth,
+                     total_ios=ios, seed_stream=f"slo{i}")
+        procs.append(sc.sim.process(fio_generator(volume, job)))
+    sc.sim.run(until=sc.sim.timeout(horizon_ns))
+    sampler.stop()
+    tele.collect()
+    return SloRun(telemetry=tele,
+                  results=[p.value if p.triggered else None for p in procs],
+                  kill_at_ns=kill_at, killed=killed, victims=victims,
+                  report=slo.report())
 
 
 def _run_chaos(ios: int, seed: int, iodepth: int, bs: int,

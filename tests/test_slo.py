@@ -1,0 +1,408 @@
+"""Time-series telemetry, latency histograms, SLO burn-rate engine.
+
+Covers the ISSUE 8 acceptance criteria: deterministic log-bucketed
+histograms with bounded relative error; a sim-clock sampler that
+perturbs modeled timing not at all; multi-window burn-rate alerting
+whose device-kill alert fires inside the kill window; and byte-identical
+exports across identical runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim import Simulator
+from repro.telemetry import (HistogramError, LatencyHistograms,
+                             LogHistogram, SeriesBank, SloEngine, SloSpec,
+                             TelemetrySampler)
+from repro.telemetry.runner import run_slo
+
+
+# --- histograms ----------------------------------------------------------
+
+class TestLogHistogram:
+    def test_small_values_are_exact(self):
+        h = LogHistogram()
+        for v in range(128):
+            assert h.bucket_index(v) == v
+            assert h.bucket_upper(v) == v
+
+    def test_bucket_upper_inverts_bucket_index(self):
+        h = LogHistogram()
+        for v in [128, 129, 255, 256, 1000, 4096, 10**6, 10**9, 10**12]:
+            idx = h.bucket_index(v)
+            upper = h.bucket_upper(idx)
+            assert upper >= v
+            assert h.bucket_index(upper) == idx
+            # The next value after the bucket's upper bound starts a
+            # new bucket.
+            assert h.bucket_index(upper + 1) == idx + 1
+
+    def test_relative_error_bound(self):
+        h = LogHistogram()
+        for v in [130, 999, 12_345, 7_654_321, 10**10 + 7]:
+            upper = h.bucket_upper(h.bucket_index(v))
+            assert (upper - v) / v <= 2 / 128
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(HistogramError):
+            LogHistogram().record(-1)
+
+    def test_quantiles_match_nearest_rank_exactly(self):
+        # Deterministic value set; small values are bucket-exact, so
+        # quantiles must equal the true nearest-rank sample.
+        values = [(i * 37) % 100 for i in range(1000)]
+        h = LogHistogram()
+        for v in values:
+            h.record(v)
+        ordered = sorted(values)
+        for q in (0.5, 0.95, 0.99, 0.999, 1.0):
+            rank = max(1, -(-int(q * 1_000_000) * len(ordered)
+                            // 1_000_000))
+            assert h.quantile(q) == ordered[rank - 1], q
+
+    def test_quantile_empty_and_clamping(self):
+        h = LogHistogram()
+        assert h.quantile(0.99) == 0
+        h.record(7)
+        assert h.quantile(-1.0) == 7
+        assert h.quantile(2.0) == 7
+
+    def test_merge_and_diff(self):
+        a, b = LogHistogram(), LogHistogram()
+        for v in (5, 500, 50_000):
+            a.record(v)
+        for v in (5, 900):
+            b.record(v)
+        a.merge(b)
+        assert a.count == 5 and a.total == 5 + 500 + 50_000 + 5 + 900
+        snap = a.copy()
+        a.record(12)
+        window = a.diff(snap)
+        assert window.count == 1
+        assert window.quantile(1.0) == 12
+
+    def test_diff_rejects_non_ancestor(self):
+        a, b = LogHistogram(), LogHistogram()
+        b.record(5)
+        with pytest.raises(HistogramError):
+            a.diff(b)
+
+    def test_sub_bits_mismatch_rejected(self):
+        with pytest.raises(HistogramError):
+            LogHistogram(7).merge(LogHistogram(8))
+
+
+class TestLatencyHistograms:
+    def test_errors_burn_separately_from_latency(self):
+        hists = LatencyHistograms()
+        hists.record_io("h1", "read", "d0", 100)
+        hists.record_io("h1", "read", "d0", 200)
+        hists.record_io("h1", "read", "d0", 5, ok=False)
+        key = ("h1", "read", "d0")
+        assert hists.totals(key) == (2, 1)
+        # The failed request's latency never lands in the histogram.
+        assert hists.hist(*key).count == 2
+        assert hists.errors(*key) == 1
+
+    def test_keys_sorted_union(self):
+        hists = LatencyHistograms()
+        hists.record_io("b", "read", "d0", 1)
+        hists.record_io("a", "write", "d1", 1, ok=False)
+        assert hists.keys() == [("a", "write", "d1"), ("b", "read", "d0")]
+
+
+# --- time series ---------------------------------------------------------
+
+class TestSeriesBank:
+    def test_ring_capacity_evicts_oldest(self):
+        bank = SeriesBank(capacity=3)
+        ts = bank.series("x", host="h")
+        for i in range(5):
+            ts.append(i, i * 10)
+        assert ts.points() == [(2, 20), (3, 30), (4, 40)]
+
+    def test_jsonl_is_sorted_and_deterministic(self):
+        bank = SeriesBank()
+        bank.series("b").append(5, 1)
+        bank.series("a", z="2", y="1").append(3, 0.5)
+        lines = bank.to_jsonl().splitlines()
+        docs = [json.loads(line) for line in lines]
+        assert [d["name"] for d in docs] == ["a", "b"]
+        assert docs[0]["labels"] == {"y": "1", "z": "2"}
+        assert bank.to_jsonl() == bank.to_jsonl()
+
+    def test_get_without_create(self):
+        bank = SeriesBank()
+        assert bank.get("missing") is None
+        bank.series("x")
+        assert bank.get("x") is not None and len(bank) == 1
+
+
+class TestTelemetrySampler:
+    def test_ticks_at_interval_and_stops(self):
+        sim = Simulator()
+        sampler = TelemetrySampler(sim, interval_ns=100)
+        seen = []
+        sampler.add_source(lambda bank, now: seen.append(now))
+        sampler.start()
+        sim.run(until=sim.timeout(450))
+        assert seen == [0, 100, 200, 300, 400]
+        sampler.stop()                     # final sample at stop time
+        assert seen[-1] == 450
+        # The tick process is gone: a queue-draining run terminates.
+        sim.run()
+        assert seen[-1] == 450
+
+    def test_start_is_idempotent(self):
+        sim = Simulator()
+        sampler = TelemetrySampler(sim, interval_ns=100)
+        ticks = []
+        sampler.add_source(lambda bank, now: ticks.append(now))
+        sampler.start()
+        sampler.start()
+        sim.run(until=sim.timeout(250))
+        assert ticks == [0, 100, 200]
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            TelemetrySampler(Simulator(), interval_ns=0)
+
+
+# --- SLO engine ----------------------------------------------------------
+
+def _engine(**kw):
+    defaults = dict(name="slo", objective_ns=100, target=0.9,
+                    fast_window_ns=100, slow_window_ns=300,
+                    burn_threshold=2.0)
+    defaults.update(kw)
+    hists = LatencyHistograms()
+    return SloEngine(SloSpec(**defaults), hists), hists
+
+
+class TestSloEngine:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SloSpec(target=1.0)
+        with pytest.raises(ValueError):
+            SloSpec(fast_window_ns=10, slow_window_ns=5)
+        with pytest.raises(ValueError):
+            SloSpec(objective_ns=0)
+
+    def test_healthy_traffic_never_alerts(self):
+        engine, hists = _engine()
+        bank = SeriesBank()
+        for tick in range(10):
+            hists.record_io("h1", "read", "d0", 50)
+            engine.sample(bank, tick * 100)
+        assert engine.alerts == []
+        assert engine.compliance("h1") == 1.0
+        assert bank.get("slo_burn_fast", slo="slo",
+                        tenant="h1").values()[-1] == 0.0
+
+    def test_burn_fires_and_resolves_with_sim_timestamps(self):
+        engine, hists = _engine()
+        bank = SeriesBank()
+        # 5 good ticks, then 5 all-error ticks, then silence.
+        now = 0
+        for _ in range(5):
+            hists.record_io("h1", "read", "d0", 50)
+            engine.sample(bank, now)
+            now += 100
+        for _ in range(5):
+            hists.record_io("h1", "read", "d0", 50, ok=False)
+            engine.sample(bank, now)
+            now += 100
+        assert len(engine.alerts) == 1
+        alert = engine.alerts[0]
+        assert alert.tenant == "h1"
+        # Errors start at t=500; the slow window (300 ns) fills with
+        # bad traffic within a few ticks — burn 10 >> threshold 2.
+        assert 500 <= alert.fired_at_ns <= 800
+        assert alert.active
+        # Quiet ticks: the windows slide past the burst and the alert
+        # resolves.
+        for _ in range(6):
+            engine.sample(bank, now)
+            now += 100
+        assert not alert.active
+        assert alert.resolved_at_ns is not None
+
+    def test_error_burns_budget_even_when_fast(self):
+        engine, hists = _engine()
+        bank = SeriesBank()
+        hists.record_io("h1", "read", "d0", 1, ok=False)   # fast failure
+        engine.sample(bank, 0)
+        hists.record_io("h1", "read", "d0", 1, ok=False)
+        engine.sample(bank, 100)
+        assert engine.compliance("h1") == 0.0
+
+    def test_slow_request_is_bad(self):
+        engine, hists = _engine()
+        bank = SeriesBank()
+        hists.record_io("h1", "read", "d0", 99)     # within objective
+        hists.record_io("h1", "read", "d0", 5000)   # blown objective
+        engine.sample(bank, 0)
+        assert engine.compliance("h1") == 0.5
+
+    def test_report_round_trips_to_json(self):
+        engine, hists = _engine()
+        hists.record_io("h1", "read", "d0", 50)
+        engine.sample(SeriesBank(), 0)
+        doc = json.loads(json.dumps(engine.report()))
+        assert doc["tenants"]["h1"]["met"] is True
+        assert doc["spec"]["target"] == 0.9
+
+
+# --- the acceptance story ------------------------------------------------
+
+KILL_WINDOW_NS = 3_000_000     # alert must fire within 3 ms of the kill
+
+
+@pytest.fixture(scope="module")
+def slo_run():
+    """Default (width-1) run: the kill becomes a sustained error burn."""
+    return run_slo(seed=7)
+
+
+@pytest.fixture(scope="module")
+def slo_run_replicated():
+    """Replicated run: the kill becomes a failover latency spike."""
+    return run_slo(n_devices=3, width=2, replicas=2, seed=7)
+
+
+def _p99_peaks(run):
+    """Tenant -> peak of its windowed p99 series (max over devices)."""
+    peaks = {}
+    for ts in run.telemetry.sampler.bank.all_series():
+        if ts.name != "latency_p99_ns":
+            continue
+        tenant = dict(ts.labels)["tenant"]
+        peaks[tenant] = max(peaks.get(tenant, 0), max(ts.values()))
+    return peaks
+
+
+class TestDeviceKillAcceptance:
+    def test_victims_alert_inside_kill_window(self, slo_run):
+        report = slo_run.report
+        assert slo_run.killed == "ctrl:nvme1"
+        assert report["alerts"], "device kill fired no burn-rate alert"
+        for alert in report["alerts"]:
+            assert slo_run.kill_at_ns < alert["fired_at_ns"] \
+                <= slo_run.kill_at_ns + KILL_WINDOW_NS
+
+    def test_victim_and_bystander_tenant_split(self, slo_run):
+        report = slo_run.report
+        alerted = {a["tenant"] for a in report["alerts"]}
+        assert alerted == set(slo_run.victims)
+        for tenant, info in report["tenants"].items():
+            if tenant in alerted:
+                assert not info["met"]
+                assert info["alerts"]
+            else:
+                assert info["met"]
+                assert info["compliance"] == 1.0
+                assert not info["alerts"]
+
+    def test_replicated_victim_p99_series_spikes(self, slo_run_replicated):
+        # With replicas=2 a victim's reads fail over and its writes
+        # degrade: slow *successes* that blow the latency objective and
+        # spike the windowed p99 series, while bystanders stay calm.
+        run = slo_run_replicated
+        objective = run.report["spec"]["objective_ns"]
+        assert run.victims
+        peaks = _p99_peaks(run)
+        for tenant, peak in peaks.items():
+            if tenant in run.victims:
+                assert peak > objective, (tenant, peak)
+            else:
+                assert peak <= objective, (tenant, peak)
+
+    def test_replicated_victims_stay_errorfree_but_degraded(
+            self, slo_run_replicated):
+        run = slo_run_replicated
+        report = run.report
+        # Failover kept every request succeeding (no NO_PATH burn)...
+        for tenant, info in report["tenants"].items():
+            assert info["good"] <= info["total"]
+            if tenant not in run.victims:
+                assert info["compliance"] == 1.0
+        # ...but victim writes landed on fewer replicas than configured.
+        m = run.telemetry.metrics
+        degraded = sum(
+            m.get("repro_cluster_degraded_writes_total", volume=v) or 0
+            for v in ("vol0", "vol1", "vol2", "vol3"))
+        assert degraded > 0
+
+    def test_timeline_has_live_path_drop(self, slo_run):
+        bank = slo_run.telemetry.sampler.bank
+        drops = [ts for ts in bank.all_series()
+                 if ts.name == "cluster_paths_live"
+                 and ts.values()[0] == 1 and ts.values()[-1] == 0]
+        # Width-1 volumes on the killed device lose their only path.
+        assert len(drops) == 2
+
+    def test_exports_are_byte_identical_across_runs(self, slo_run):
+        again = run_slo(seed=7)
+        assert slo_run.timeseries_jsonl() == again.timeseries_jsonl()
+        assert slo_run.slo_report_json() == again.slo_report_json()
+        assert slo_run.prometheus_text() == again.prometheus_text()
+        assert slo_run.perfetto_json() == again.perfetto_json()
+
+    def test_perfetto_export_has_counter_tracks(self, slo_run):
+        doc = json.loads(slo_run.perfetto_json())
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert counters
+        names = {e["name"] for e in counters}
+        assert any(n.startswith("slo_burn_fast") for n in names)
+        meta = [e for e in doc["traceEvents"]
+                if e["ph"] == "M" and e["pid"] == counters[0]["pid"]]
+        assert meta and meta[0]["args"]["name"] == "telemetry counters"
+
+    def test_prometheus_export_has_tenant_histograms(self, slo_run):
+        text = slo_run.prometheus_text()
+        assert "# TYPE repro_io_latency_hist_ns histogram" in text
+        assert 'tenant="host2"' in text
+        assert 'le="+Inf"' in text
+        assert "repro_io_tenant_errors_total" in text
+
+
+class TestZeroPerturbation:
+    def test_instrumentation_leaves_model_bit_identical(self):
+        # The tentpole determinism contract: the sampler adds timeout
+        # events but only ever *reads* state, so enabling histograms +
+        # sampler + SLO leaves every modeled result bit-identical.
+        def latencies(instrument: bool):
+            import repro.telemetry.runner as runner
+            from repro.faults import FaultEvent, FaultPlan
+            from repro.scenarios import cluster
+            from repro.workloads import FioJob, fio_generator
+            sc = cluster(n_clients=4, n_devices=2, width=1, replicas=1,
+                         seed=7, faults=True, telemetry=True,
+                         reliability=runner.SLO_RELIABILITY)
+            tele = sc.telemetry
+            if instrument:
+                tele.enable_histograms()
+                tele.enable_slo(runner.DEFAULT_SLO)
+                tele.enable_sampler(interval_ns=200_000)
+            sc.injector.plan = FaultPlan((FaultEvent(
+                1_000_000, "ctrl_stall", sc.ctrl_points()[-1],
+                duration_ns=0),))
+            sc.injector.start()
+            for i, vol in enumerate(sc.volumes):
+                sc.sim.process(fio_generator(
+                    vol, FioJob(name=f"t{i}", rw="randrw", bs=4096,
+                                iodepth=4, total_ios=400,
+                                seed_stream=f"slo{i}")))
+            sc.sim.run(until=sc.sim.timeout(6_000_000))
+            if instrument:
+                tele.sampler.stop()
+            return ([vol.latencies.values().tolist()
+                     for vol in sc.volumes],
+                    [vol.completed for vol in sc.volumes],
+                    [vol.errors for vol in sc.volumes],
+                    sc.sim.now)
+
+        assert latencies(False) == latencies(True)

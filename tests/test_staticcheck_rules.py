@@ -245,6 +245,16 @@ def test_units_passes_integer_record_and_observe(tmp_path):
     assert findings == []
 
 
+def test_units_flags_float_into_record_io(tmp_path):
+    findings = run_rule(tmp_path, "units-discipline", """
+        def snapshot(hists, lat):
+            hists.record_io("host1", "read", "nvme0", lat / 2)
+            hists.record_io("host1", "read", "nvme0", round(lat / 2))
+    """)
+    assert len(findings) == 1
+    assert "record_io()" in findings[0].message
+
+
 def test_units_passes_integer_ns_and_declared_rates(tmp_path):
     findings = run_rule(tmp_path, "units-discipline", """
         from repro.units import us

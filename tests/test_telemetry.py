@@ -198,6 +198,37 @@ class TestExporters:
         assert 'repro_lat_ns{quantile="0.99"} 0\n' in text
         assert "repro_lat_ns_count 0\n" in text
 
+    def test_prometheus_label_values_are_escaped(self):
+        # Satellite regression: backslash, double quote and newline in
+        # label values must escape per the text exposition format.
+        m = MetricsRegistry()
+        m.counter_set("repro_x_total", 1, path='C:\\dev\\"nvme"\n0')
+        text = registry_to_prometheus(m)
+        assert ('repro_x_total{path="C:\\\\dev\\\\\\"nvme\\"\\n0"} 1'
+                in text)
+        assert "\n0" not in text.split("repro_x_total{")[1]
+
+    def test_prometheus_classic_histogram_rendering(self):
+        from repro.telemetry import LogHistogram
+        m = MetricsRegistry()
+        hist = LogHistogram()
+        for v in (10, 10, 50, 1000):
+            hist.record(v)
+        m.histogram_set("repro_hist_ns", hist, help="latency",
+                        tenant="h1")
+        text = registry_to_prometheus(m)
+        assert "# TYPE repro_hist_ns histogram\n" in text
+        # Cumulative buckets at the occupied log-bucket upper bounds
+        # (the le label renders last, like summary quantile labels).
+        assert 'repro_hist_ns_bucket{tenant="h1",le="10"} 2\n' in text
+        assert 'repro_hist_ns_bucket{tenant="h1",le="50"} 3\n' in text
+        upper = hist.bucket_upper(hist.bucket_index(1000))
+        assert (f'repro_hist_ns_bucket{{tenant="h1",le="{upper}"}} 4\n'
+                in text)
+        assert 'repro_hist_ns_bucket{tenant="h1",le="+Inf"} 4\n' in text
+        assert 'repro_hist_ns_sum{tenant="h1"} 1070\n' in text
+        assert 'repro_hist_ns_count{tenant="h1"} 4\n' in text
+
 
 class TestInstrumentedScenarios:
     def test_remote_reads_decompose_exactly(self):
@@ -283,6 +314,91 @@ class TestChaosDeterminism:
         # The chaos run actually exercised the faults path.
         text = a.prometheus_text()
         assert "repro_faults_injected_total" in text
+
+
+class TestCollectIdempotency:
+    def test_double_collect_is_idempotent(self):
+        # Satellite regression: collect() must be safe to call ad hoc
+        # and repeatedly — every collector uses set-style instruments
+        # (counter_set/gauge_set/summary_set), never counter_add, so a
+        # second scrape with no sim progress changes nothing.
+        scenario = build_fig10_scenario("ours-remote", seed=8,
+                                        telemetry=True)
+        run_fio(scenario.device,
+                FioJob(name="x", rw="randread", bs=4096, iodepth=2,
+                       total_ios=60))
+        tele = scenario.telemetry
+        first = registry_to_prometheus(tele.collect())
+        second = registry_to_prometheus(tele.collect())
+        assert first == second
+
+
+class TestClusterMetricsContract:
+    """Exact family names and label sets for a 2-device cluster —
+    exporter output is contract-tested, not just smoke-tested."""
+
+    def _collect(self):
+        from repro.scenarios import cluster
+        from repro.workloads import run_fio_many
+        sc = cluster(n_clients=2, n_devices=2, seed=5, telemetry=True)
+        run_fio_many([(vol, FioJob(name=f"v{i}", rw="randread",
+                                   bs=4096, iodepth=2, total_ios=30))
+                      for i, vol in enumerate(sc.volumes)])
+        return sc, sc.telemetry.collect()
+
+    def test_volume_families_and_label_sets(self):
+        sc, m = self._collect()
+        snap = m.snapshot()
+        volume_families = {
+            "repro_cluster_failovers_total": "counter",
+            "repro_cluster_path_errors_total": "counter",
+            "repro_cluster_degraded_writes_total": "counter",
+            "repro_cluster_paths_live": "gauge",
+            "repro_cluster_paths": "gauge",
+        }
+        for family, kind in volume_families.items():
+            assert family in snap, family
+            assert snap[family]["kind"] == kind
+            series = snap[family]["series"]
+            # One series per volume, labelled by volume name only.
+            assert [s["labels"] for s in series] == [
+                {"volume": "vol0"}, {"volume": "vol1"}]
+        # Healthy run: every configured path is live, none demoted.
+        for sample in snap["repro_cluster_paths_live"]["series"]:
+            assert sample["value"] == 1
+        for sample in snap["repro_cluster_paths"]["series"]:
+            assert sample["value"] == 1
+
+    def test_manager_families_carry_device_id_labels(self):
+        sc, m = self._collect()
+        snap = m.snapshot()
+        device_ids = sorted(str(d) for d in sc.managers)
+        assert len(device_ids) == 2
+        for family in ("repro_manager_rpcs_total",
+                       "repro_manager_queues_in_use",
+                       "repro_manager_leases_reclaimed_total",
+                       "repro_manager_admission_rejections_total",
+                       "repro_qp_cqes_forwarded_total",
+                       "repro_qp_cqes_orphaned_total"):
+            assert family in snap, family
+            labels = [s["labels"] for s in snap[family]["series"]]
+            # Multi-manager hubs must disambiguate by device_id.
+            assert sorted(l["device_id"] for l in labels) == device_ids
+            assert all(set(l) == {"device_id"} for l in labels)
+        # Shared-QP gauges only exist when admission actually shared a
+        # queue pair (2 tenants on 2 devices get exclusive QPs); when
+        # present they must carry both qid and device_id.
+        for family in ("repro_qp_tenants", "repro_qp_windows_free"):
+            for sample in snap.get(family, {}).get("series", ()):
+                assert set(sample["labels"]) == {"device_id", "qid"}
+
+    def test_single_manager_hub_stays_unlabeled(self):
+        # The historical contract: one manager -> no device_id label.
+        tr = run_scenario("chaos", ios=20, seed=11, n_clients=2)
+        snap = tr.telemetry.collect().snapshot()
+        labels = [s["labels"]
+                  for s in snap["repro_manager_rpcs_total"]["series"]]
+        assert labels == [{}]
 
 
 class TestTracerSatellite:
