@@ -135,12 +135,19 @@ class FaultPointRegistry:
         return None
 
     def tlp_dropped(self, rng: RngRegistry, *host_names: str) -> str | None:
-        """Seeded per-point coin flips; name of the dropping point or None."""
+        """Seeded per-point coin flips; name of the dropping point or None.
+
+        The coin stream is keyed per (point, initiating host): a lossy
+        link crossed by flows from several hosts flips an independent
+        coin stream per flow, so each stream's consumption depends only
+        on one timing domain's activity (the shard-partitioning
+        invariant; see repro.sim.shard)."""
+        initiator = host_names[0] if host_names else ""
         for host in host_names:
             name = f"link:{host}"
             state = self._points.get(name)
             if state is not None and state.drop_probability > 0.0 \
-                    and rng.bernoulli(f"fault:{name}",
+                    and rng.bernoulli(f"fault:{name}:from:{initiator}",
                                       state.drop_probability):
                 self._count("tlp-drop")
                 return name

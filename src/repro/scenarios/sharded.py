@@ -1,0 +1,375 @@
+"""Shard programs: the paper's scenarios packaged for ``run_sharded``.
+
+A *shard program* (contract in :mod:`repro.sim.shard`) wraps a built
+scenario so the shard runner can replicate it, freeze foreign timing
+domains and drive the owned workloads window-by-window.  Each builder
+here returns a zero-argument ``build`` callable suitable for
+:func:`repro.sim.run_sharded` — under multiprocess sharding it runs
+inside forked workers, so it must be self-contained.
+
+What a program collects per replica (all picklable):
+
+* per-client fio accounting from the owned block devices (completed
+  I/Os, error count, bytes moved, exact latency sum) — meaningful in
+  both goals and deadline mode, including half-finished runs;
+* a CRC32 digest of every owned controller's namespace contents — the
+  end-to-end data-integrity checksum the equivalence tests compare;
+* metrics snapshots taken at switchover (``base``) and at the end
+  (``end``), merged by :func:`merge_program_results` into one registry
+  whose Prometheus rendering is byte-identical across shard counts for
+  fixed-deadline runs.
+
+Unsupported under ``shards > 1`` (clear error, not silent corruption):
+span recording / Perfetto export, the time-series sampler, the SLO
+engine and ShareSan — all observe cross-domain interleavings that a
+replica cannot see in full.  :func:`merge_program_results` returns a
+``perfetto_json`` callable that raises :class:`ShardError` when the
+run was sharded; the builders refuse ``sanitizer=True`` up front.
+"""
+
+from __future__ import annotations
+
+import typing as t
+import zlib
+
+from ..faults import FaultEvent, FaultPlan
+from ..sim import ShardError, Simulator, merge_disjoint, \
+    merge_metric_snapshots, value_fingerprint
+from ..telemetry.prometheus import registry_to_prometheus
+from ..workloads import FioJob, fio_generator
+from .builders import multihost, ours_remote
+from .chaos import chaos_cluster
+from .cluster import cluster
+
+__all__ = [
+    "ShardProgram", "SHARDED_SCENARIOS", "build_sharded",
+    "merge_program_results", "metric_merge_rule", "SHARD_CHAOS_PLAN",
+]
+
+#: Fixed fault plan for the sharded chaos scenario — link flap, lossy
+#: cable and a controller stall, none of which kill a client (surprise
+#: removal is a per-replica session teardown and stays a non-sharded
+#: test concern).
+SHARD_CHAOS_PLAN = FaultPlan((
+    FaultEvent(200_000, "link_down", "link:host2", duration_ns=500_000),
+    FaultEvent(400_000, "tlp_drop", "link:host3", probability=0.1,
+               duration_ns=800_000),
+    FaultEvent(900_000, "ctrl_stall", "ctrl:nvme0", duration_ns=300_000),
+))
+
+
+def metric_merge_rule(name: str, kind: str, labels: dict) -> str:
+    """Merge rule for one telemetry series (see merge_metric_snapshots).
+
+    The default partition: counters accumulate only in the replica
+    owning the accounting component (sum of deltas); gauges, summaries
+    and histograms reflect single-owner state (exactly one replica may
+    change them).  Exceptions:
+
+    * the fault injector is deliberately replicated into every shard,
+      so its direct actions (link transitions, link-up state, stall
+      counts) happen everywhere and must agree exactly;
+    * ``repro_sim_time_ns`` and ``repro_io_iops`` are derived from the
+      clock, which every replica advances — take the maximum (a
+      device's completion count only grows in its owning replica, so
+      the max IS the owner's value).
+    """
+    if name == "repro_faults_injected_total":
+        if labels.get("kind") in ("link-down", "stall"):
+            return "equal"
+        return "sum-delta"
+    if name in ("repro_ntb_link_transitions_total", "repro_ntb_link_up"):
+        return "equal"
+    if name in ("repro_sim_time_ns", "repro_io_iops"):
+        return "max"
+    if kind == "counter":
+        return "sum-delta"
+    return "one"
+
+
+def _namespace_digest(controller: t.Any) -> int:
+    """CRC32 over a controller's namespace contents (sorted extents)."""
+    crc = 0
+    for nsid in sorted(controller.namespaces):
+        ns = controller.namespaces[nsid]
+        for index in sorted(ns._extents):
+            crc = zlib.crc32(index.to_bytes(8, "little"), crc)
+            crc = zlib.crc32(bytes(ns._extents[index]), crc)
+    return crc
+
+
+class ShardProgram:
+    """One built scenario plus its workload plan, shard-runner shaped.
+
+    ``workloads`` is a tuple of ``(domain, name, device, job)``: the
+    fio job is spawned (under its domain tag) only in the replica that
+    owns the domain.  ``controllers`` is a tuple of ``(domain, name,
+    controller)`` used for the owned-side namespace digests.  The
+    optional ``injector`` is started in *every* replica — fault state
+    (link up/down, drop probability) is checked at transaction issue
+    time in the source replica, so it must be visible everywhere.
+    """
+
+    def __init__(self, label: str, sim: Simulator, fabric: t.Any,
+                 domains: t.Sequence[str], telemetry: t.Any,
+                 workloads: t.Sequence[tuple],
+                 controllers: t.Sequence[tuple] = (),
+                 injector: t.Any = None) -> None:
+        self.label = label
+        self.sim = sim
+        self.fabric = fabric
+        self.domains = tuple(domains)
+        self.telemetry = telemetry
+        self.workloads = tuple(workloads)
+        self.controllers = tuple(controllers)
+        self.injector = injector
+        self._procs: list = []
+        self._base: dict | None = None
+
+    def start(self, owned: frozenset) -> list:
+        # The base snapshot is taken at switchover, when every replica
+        # is still bit-identical; the merge anchors deltas against it.
+        self._base = self.telemetry.collect().snapshot()
+        if self.injector is not None:
+            # Replicated on purpose; spawned outside any domain tag so
+            # it is never frozen.
+            self.injector.start()
+        procs = []
+        for domain, name, device, job in self.workloads:
+            if domain in owned:
+                with self.sim.domain(domain):
+                    proc = self.sim.process(fio_generator(device, job))
+                self._procs.append(proc)
+                procs.append(proc)
+        return procs
+
+    def goals_done(self) -> bool:
+        return all(proc.triggered for proc in self._procs)
+
+    def collect(self, owned: frozenset) -> dict:
+        fio: dict[str, dict] = {}
+        for domain, name, device, _job in self.workloads:
+            if domain not in owned:
+                continue
+            latencies = device.latencies
+            fio[name] = {
+                "completed": device.completed,
+                "errors": device.errors,
+                "bytes": device.bytes_moved,
+                "lat_count": len(latencies),
+                "lat_sum": int(latencies.values().sum()),
+            }
+        checksums = {
+            name: _namespace_digest(ctrl)
+            for domain, name, ctrl in self.controllers if domain in owned
+        }
+        return {
+            "label": self.label,
+            "owned": sorted(owned),
+            "sim_now": self.sim.now,
+            "fio": fio,
+            "checksums": checksums,
+            "metrics_base": self._base,
+            "metrics_end": self.telemetry.collect().snapshot(),
+        }
+
+
+def _snapshots_equal(a: dict, b: dict) -> bool:
+    """Compare two metric snapshots by value fingerprint.
+
+    # cross-shard merge — family names are iterated sorted; series
+    lists are already in the renderer's sorted order."""
+    if sorted(a) != sorted(b):
+        return False
+    for name in sorted(a):
+        fa, fb = a[name], b[name]
+        if (fa["kind"], fa["help"], fa["unit"]) \
+                != (fb["kind"], fb["help"], fb["unit"]):
+            return False
+        if len(fa["series"]) != len(fb["series"]):
+            return False
+        for sa, sb in zip(fa["series"], fb["series"]):
+            if sa["labels"] != sb["labels"]:
+                return False
+            if value_fingerprint(sa["value"]) \
+                    != value_fingerprint(sb["value"]):
+                return False
+    return True
+
+
+def merge_program_results(results: list[dict]) -> dict:
+    """Combine per-replica ``ShardProgram.collect`` dicts.
+
+    # cross-shard merge — per-shard dicts are unioned with sorted keys
+    (ownership makes them disjoint) and the metric snapshots go
+    through the policy-driven registry merge."""
+    base = results[0]["metrics_base"]
+    for index, result in enumerate(results[1:], start=1):
+        if not _snapshots_equal(base, result["metrics_base"]):
+            raise ShardError(
+                f"replica divergence: shard {index}'s switchover metrics "
+                f"snapshot differs from shard 0's")
+    registry = merge_metric_snapshots(
+        base, [r["metrics_end"] for r in results], metric_merge_rule)
+    sharded = len(results) > 1
+
+    def perfetto_json() -> str:
+        if sharded:
+            raise ShardError(
+                "span recording / Perfetto export is not supported with "
+                "shards > 1: spans observe cross-domain interleavings a "
+                "single replica cannot see in full; rerun with shards=1 "
+                "or REPRO_NO_SHARDING=1")
+        raise ShardError(
+            "this shard program collects metrics only; build the "
+            "scenario directly for span recording")
+
+    return {
+        "label": results[0]["label"],
+        "sim_now": max(r["sim_now"] for r in results),
+        "fio": merge_disjoint([r["fio"] for r in results]),
+        "checksums": merge_disjoint([r["checksums"] for r in results]),
+        "metrics": registry,
+        "prometheus": registry_to_prometheus(registry),
+        "perfetto_json": perfetto_json,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Program builders (each returns a zero-arg ``build`` for run_sharded)
+# ---------------------------------------------------------------------------
+
+def _check_unsupported(sanitizer: bool) -> None:
+    if sanitizer:
+        raise ShardError(
+            "ShareSan is not supported with shards > 1: it orders "
+            "cross-host accesses globally, which a replica cannot "
+            "observe; rerun with shards=1 or REPRO_NO_SHARDING=1")
+
+
+def build_fig10(seed: int = 7, total_ios: int = 400,
+                queue_depth: int = 32, iodepth: int = 8,
+                rw: str = "randrw",
+                sanitizer: bool = False) -> t.Callable[[], ShardProgram]:
+    """Fig. 10 ``ours-remote``: one client, one NTB hop (2 domains).
+
+    Defaults to ``randrw`` (unlike the read-only Fig. 10 benchmark) so
+    the namespace digest is a real data-integrity check, not a CRC of
+    an empty extent map.
+    """
+    _check_unsupported(sanitizer)
+
+    def build() -> ShardProgram:
+        scenario = ours_remote(seed=seed, queue_depth=queue_depth,
+                               telemetry=True, shard_boundary=True)
+        bed = scenario.testbed
+        job = FioJob(name="fig10", rw=rw, bs=4096,
+                     iodepth=iodepth, total_ios=total_ios)
+        return ShardProgram(
+            "fig10-ours-remote", scenario.sim, bed.fabric, bed.domains,
+            scenario.telemetry,
+            workloads=[("host1", "host1-fio", scenario.device, job)],
+            controllers=[("host0", "nvme0", bed.nvme)])
+    return build
+
+
+def build_multihost(n_clients: int = 4, seed: int = 404,
+                    ios_per_client: int = 300, queue_depth: int = 16,
+                    rw: str = "randrw", sanitizer: bool = False
+                    ) -> t.Callable[[], ShardProgram]:
+    """Sec. VI multi-host sharing: N remote clients, one controller."""
+    _check_unsupported(sanitizer)
+
+    def build() -> ShardProgram:
+        scenario = multihost(n_clients, seed=seed,
+                             queue_depth=queue_depth, telemetry=True,
+                             shard_boundary=True)
+        bed = scenario.testbed
+        workloads = []
+        for i, client in enumerate(scenario.clients):
+            job = FioJob(name=f"mh{i}", rw=rw, bs=4096,
+                         iodepth=8, total_ios=ios_per_client,
+                         region_lbas=1 << 20, seed_stream=f"fio{i}")
+            workloads.append((f"host{1 + i}", client.name, client, job))
+        return ShardProgram(
+            f"multihost-{n_clients}", scenario.sim, bed.fabric,
+            bed.domains, scenario.telemetry, workloads,
+            controllers=[("host0", "nvme0", bed.nvme)])
+    return build
+
+
+def build_chaos(n_clients: int = 3, seed: int = 321,
+                ios_per_client: int = 150, plan: FaultPlan | None = None,
+                sanitizer: bool = False) -> t.Callable[[], ShardProgram]:
+    """Fault-injected cluster (recovery on): run in deadline mode so
+    the injector's full plan replays regardless of workload length."""
+    _check_unsupported(sanitizer)
+
+    def build() -> ShardProgram:
+        scenario = chaos_cluster(n_clients=n_clients,
+                                 plan=plan or SHARD_CHAOS_PLAN,
+                                 seed=seed, telemetry=True,
+                                 shard_boundary=True)
+        bed = scenario.testbed
+        workloads = []
+        for i, client in enumerate(scenario.clients):
+            job = FioJob(name=f"j{i}", rw="randrw", iodepth=4,
+                         total_ios=ios_per_client, seed_stream=f"fio{i}")
+            workloads.append((f"host{1 + i}", client.name, client, job))
+        assert bed.nvme is not None
+        return ShardProgram(
+            f"chaos-{n_clients}", scenario.sim, bed.fabric, bed.domains,
+            scenario.telemetry, workloads,
+            controllers=[("host0", "nvme0", bed.nvme)],
+            injector=scenario.injector)
+    return build
+
+
+def build_cluster(n_clients: int = 4, n_devices: int = 4, seed: int = 99,
+                  ios_per_client: int = 120, queue_depth: int = 8,
+                  rw: str = "randrw", sanitizer: bool = False
+                  ) -> t.Callable[[], ShardProgram]:
+    """Multi-device cluster: a volume per client over N controllers."""
+    _check_unsupported(sanitizer)
+
+    def build() -> ShardProgram:
+        scenario = cluster(n_clients=n_clients, n_devices=n_devices,
+                           seed=seed, queue_depth=queue_depth,
+                           telemetry=True, shard_boundary=True)
+        bed = scenario.testbed
+        workloads = []
+        for i, volume in enumerate(scenario.volumes):
+            job = FioJob(name=f"cl{i}", rw=rw, bs=4096,
+                         iodepth=4, total_ios=ios_per_client,
+                         seed_stream=f"fio{i}")
+            workloads.append((f"host{n_devices + i}", f"vol{i}",
+                              volume, job))
+        controllers = [(f"host{i}", ctrl.name, ctrl)
+                       for i, ctrl in enumerate(scenario.controllers)]
+        return ShardProgram(
+            f"cluster-{n_clients}x{n_devices}", scenario.sim, bed.fabric,
+            bed.domains, scenario.telemetry, workloads,
+            controllers=controllers)
+    return build
+
+
+#: name -> builder factory, for the CLI and the benchmarks
+SHARDED_SCENARIOS: dict[str, t.Callable[..., t.Callable[[], ShardProgram]]]
+SHARDED_SCENARIOS = {
+    "fig10-ours-remote": build_fig10,
+    "multihost-4": build_multihost,
+    "chaos": build_chaos,
+    "cluster-4dev": build_cluster,
+}
+
+
+def build_sharded(name: str, **overrides: t.Any
+                  ) -> t.Callable[[], ShardProgram]:
+    """Resolve a named shard-program builder (CLI / bench entry)."""
+    try:
+        factory = SHARDED_SCENARIOS[name]
+    except KeyError:
+        raise ShardError(
+            f"unknown sharded scenario {name!r}; "
+            f"pick one of {sorted(SHARDED_SCENARIOS)}") from None
+    return factory(**overrides)

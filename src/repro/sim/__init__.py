@@ -10,6 +10,8 @@ from .events import AllOf, AnyOf, Event, Timeout
 from .process import Interrupt, Process
 from .resources import Request, Resource, Signal, Store
 from .rng import RngRegistry
+from .shard import (ShardBoundary, ShardError, ShardRun, merge_disjoint,
+                    merge_metric_snapshots, run_sharded, value_fingerprint)
 from .stats import (BoxplotStats, Counter, LatencyRecorder, iops,
                     throughput_bytes_per_s)
 from .trace import NULL_TRACER, NullTracer, Tracer, TraceRecord
@@ -19,6 +21,8 @@ __all__ = [
     "Process", "Interrupt",
     "Resource", "Request", "Store", "Signal",
     "RngRegistry",
+    "ShardBoundary", "ShardError", "ShardRun", "run_sharded",
+    "merge_disjoint", "merge_metric_snapshots", "value_fingerprint",
     "LatencyRecorder", "BoxplotStats", "Counter", "iops",
     "throughput_bytes_per_s",
     "Tracer", "TraceRecord", "NullTracer", "NULL_TRACER",

@@ -1,0 +1,710 @@
+"""Sharded conservative-lookahead execution of a cluster simulation.
+
+The paper's testbed is a PCIe cluster: per-host timing domains joined
+by NTB adapters whose one-way forwarding latency is bounded below by
+the switch-chip minimum plus the root-complex cost.  That physical
+bound is a classic conservative-PDES *lookahead*: an event executed in
+domain A at time ``t`` cannot affect domain B before ``t + W`` (``W``
+= min NTB hop latency), so every domain may safely run ``W`` ahead of
+the global horizon without ever receiving a message in its past.
+
+This module exploits it with a **replicated-build** design:
+
+* each shard builds the *entire* cluster from the same seed (cheap —
+  setup is a few thousand events) so every replica agrees bit-for-bit
+  on topology, addresses and RNG stream positions;
+* after a quiesce point the runner freezes all processes tagged with a
+  foreign timing domain (:class:`~repro.sim.core.Simulator` ``_frozen``)
+  and restricts the fabric's :class:`ShardBoundary` to the shard's
+  *owned* domains;
+* cross-domain transactions decompose at the boundary: the source
+  replica models the source-side links and RNG draws, then hands an
+  *envelope* ``(t_eff, send_time, src_idx, seq, payload)`` to the
+  destination domain's replica, which models the destination-side
+  links on arrival (see ``repro.pcie.fabric``);
+* replicas advance in lock-stepped *windows* ``[B, nxt + W)`` where
+  ``nxt`` is the earliest pending event or undelivered envelope across
+  all shards.  Envelopes always satisfy ``t_eff >= send_time + W``, so
+  a window never needs a message produced inside itself — the barrier
+  exchange between windows is sufficient (no rollback, no anti-messages).
+
+**Determinism contract.**  For one seed, the merged results of a run
+are bit-identical whether executed as a single process (``shards=1``),
+as K replicas multiplexed in one process (*virtual* sharding, the mode
+tests use), or as K forked worker processes.  The ingredients:
+
+* per-``(src, dst)`` channel sequence numbers make envelope order a
+  total order independent of wall-clock interleaving;
+* envelope application is scheduled URGENT so it precedes same-instant
+  normal events regardless of local queue contents;
+* windows run ``until = nxt + W - 1`` (strictly *before* the horizon),
+  so an envelope effective exactly at the horizon is always injected
+  before any local event at that instant executes;
+* every merge helper in this module iterates deterministically (the
+  ``shard-channel-order`` staticcheck rule enforces that no function
+  marked ``# cross-shard merge`` iterates an unordered set or dict).
+
+``REPRO_NO_SHARDING=1`` in the environment coerces any ``run_sharded``
+call back to the plain single-process path (escape hatch; results are
+identical by the contract above, only slower).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import typing as t
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from .core import Simulator
+
+__all__ = [
+    "ShardError", "ShardBoundary", "ShardRun", "run_sharded",
+    "merge_disjoint", "merge_metric_snapshots", "value_fingerprint",
+]
+
+#: Upper bound on quiesce steps before declaring the protocol wedged.
+_QUIESCE_LIMIT = 10_000_000
+
+
+class ShardError(Exception):
+    """Sharding protocol violation (lookahead breach, divergent merge,
+    feature unsupported under ``shards > 1``, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Boundary: ordered channels + domain map installed on the fabric
+# ---------------------------------------------------------------------------
+
+class ShardBoundary:
+    """Partition map and outgoing message channels of one replica.
+
+    Installed as ``fabric.boundary``.  Before switchover ``owned``
+    covers every domain, so all sends self-deliver and the testbed
+    behaves exactly like an unsharded one (the degenerate boundary the
+    ``shards=1`` comparison mode runs with).
+    """
+
+    __slots__ = ("sim", "domains", "node_domain", "lookahead_ns",
+                 "_index", "owned", "_seqs", "_outboxes", "messages_out")
+
+    def __init__(self, sim: "Simulator", domains: t.Sequence[str],
+                 node_domain: t.Mapping[str, str],
+                 lookahead_ns: int) -> None:
+        if lookahead_ns < 1:
+            raise ShardError(f"lookahead must be positive: {lookahead_ns}")
+        self.sim = sim
+        #: all timing domains, in deterministic declaration order; the
+        #: position of a domain here is its shard-assignment index
+        self.domains: tuple[str, ...] = tuple(domains)
+        #: node name -> timing domain (nodes absent from the map, e.g. a
+        #: shared top switch, are neutral: never a cross-domain target)
+        self.node_domain: dict[str, str] = dict(node_domain)
+        #: conservative lookahead W (min one-way cross-domain latency)
+        self.lookahead_ns = int(lookahead_ns)
+        self._index = {dom: i for i, dom in enumerate(self.domains)}
+        #: domains whose state this replica advances; sends to owned
+        #: domains self-deliver, everything else joins a channel
+        self.owned: frozenset[str] = frozenset(self.domains)
+        # (src_idx, dst_idx) -> next sequence number.  Stamped on every
+        # send (owned or not) so channel sequences are identical across
+        # shard counts.
+        self._seqs: dict[tuple[int, int], int] = {}
+        self._outboxes: dict[str, list[tuple]] = {}
+        #: envelopes handed to foreign domains (telemetry / benchmarks)
+        self.messages_out = 0
+
+    def stamp(self, dst_dom: str, t_eff: int, send_time: int,
+              payload: tuple) -> tuple:
+        """Build the ordered envelope for one cross-domain message.
+
+        ``payload[1]`` is by protocol the *sending-side* node name, from
+        which the source domain (and hence the channel) derives."""
+        src_dom = self.node_domain[payload[1]]
+        key = (self._index[src_dom], self._index[dst_dom])
+        seq = self._seqs.get(key, 0)
+        self._seqs[key] = seq + 1
+        return (t_eff, send_time, key[0], seq, payload)
+
+    def enqueue(self, dst_dom: str, env: tuple, now: int) -> None:
+        """Queue an envelope for a foreign domain, enforcing lookahead."""
+        if env[0] < now + self.lookahead_ns:
+            raise ShardError(
+                f"lookahead violation: envelope to {dst_dom!r} effective "
+                f"at {env[0]} < send {now} + W {self.lookahead_ns} "
+                f"(payload tag {env[4][0]!r})")
+        box = self._outboxes.get(dst_dom)
+        if box is None:
+            box = self._outboxes[dst_dom] = []
+        box.append(env)
+        self.messages_out += 1
+
+    def drain(self) -> list[tuple[str, list[tuple]]]:
+        """Take all queued envelopes, grouped by destination domain.
+
+        # cross-shard merge — iterates the declared domain order, never
+        the accumulation dict, so the result order is independent of
+        which domain happened to send first."""
+        if not self._outboxes:
+            return []
+        boxes, self._outboxes = self._outboxes, {}
+        out = []
+        for dom in self.domains:
+            envs = boxes.pop(dom, None)
+            if envs:
+                out.append((dom, envs))
+        if boxes:
+            raise ShardError(
+                f"envelopes queued for unknown domains: {sorted(boxes)}")
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Program contract + switchover
+# ---------------------------------------------------------------------------
+#
+# ``run_sharded`` drives *shard programs*: duck-typed objects with
+#
+#   prog.sim              repro.sim.Simulator
+#   prog.fabric           fabric with .boundary (ShardBoundary),
+#                         .inflight and ._deliver(env)
+#   prog.domains          tuple of timing-domain names (host names)
+#   prog.start(owned)     spawn workload processes for the owned domains
+#                         (plus any deliberately replicated global
+#                         processes, e.g. a fault injector)
+#   prog.goals_done()     True once every owned workload finished
+#   prog.collect(owned)   picklable result dict for this replica
+#
+# Builders for the paper's scenarios live in repro.scenarios.sharded.
+
+
+def _owned_of(domains: tuple[str, ...], index: int,
+              shards: int) -> frozenset[str]:
+    """Static domain->shard assignment: domain i belongs to shard i%K."""
+    return frozenset(dom for i, dom in enumerate(domains)
+                     if i % shards == index)
+
+
+def _switchover(prog: t.Any, owned: frozenset[str]) -> None:
+    """Quiesce the replica, then restrict it to its owned domains.
+
+    All replicas are bit-identical up to this point, so the quiesce
+    (run until no transaction is mid-flight on the fabric) lands every
+    replica on the same instant with the same state; freezing foreign
+    domains afterwards cannot strand a half-applied transaction."""
+    sim = prog.sim
+    fabric = prog.fabric
+    boundary = fabric.boundary
+    if boundary is None:
+        raise ShardError(
+            "program fabric has no ShardBoundary installed "
+            "(build the testbed with shard_boundary=True)")
+    steps = 0
+    while fabric.inflight > 0:
+        if sim.peek() is None:
+            raise ShardError(
+                f"quiesce deadlock: {fabric.inflight} transactions "
+                f"in flight but the event queue is empty")
+        sim.step()
+        steps += 1
+        if steps > _QUIESCE_LIMIT:
+            raise ShardError("quiesce did not converge")
+    foreign = frozenset(boundary.domains) - owned
+    if foreign:
+        sim._frozen = foreign
+    boundary.owned = frozenset(owned)
+
+
+def _state_of(prog: t.Any) -> tuple:
+    """Barrier-exchange state: (peek, outbox, goals_done, inflight)."""
+    outbox = prog.fabric.boundary.drain()
+    return (prog.sim.peek(), outbox, bool(prog.goals_done()),
+            prog.fabric.inflight)
+
+
+# ---------------------------------------------------------------------------
+# Replica handles: same send/recv surface inline and over a pipe
+# ---------------------------------------------------------------------------
+
+class _InlineShard:
+    """A replica multiplexed into the calling process (virtual mode)."""
+
+    parallel = False
+
+    def __init__(self, build: t.Callable[[], t.Any], index: int,
+                 shards: int) -> None:
+        self.index = index
+        self._shards = shards
+        self._prog = build()
+        self._owned: frozenset[str] = frozenset()
+        self._pending: t.Any = None
+
+    def hello(self) -> tuple[tuple[str, ...], int]:
+        prog = self._prog
+        boundary = prog.fabric.boundary
+        if boundary is None:
+            raise ShardError("built program has no ShardBoundary")
+        return tuple(prog.domains), boundary.lookahead_ns
+
+    def send_begin(self) -> None:
+        prog = self._prog
+        self._owned = _owned_of(tuple(prog.domains), self.index,
+                                self._shards)
+        _switchover(prog, self._owned)
+        prog.start(self._owned)
+        self._pending = _state_of(prog)
+
+    def send_step(self, msgs: list[tuple], until: int | None) -> None:
+        prog = self._prog
+        deliver = prog.fabric._deliver
+        for env in msgs:
+            deliver(env)
+        if until is not None:
+            prog.sim.run(until=until)
+        self._pending = _state_of(prog)
+
+    def recv_state(self) -> tuple:
+        state, self._pending = self._pending, None
+        return state
+
+    def send_finish(self, final: int | None) -> None:
+        prog = self._prog
+        if final is not None:
+            prog.sim.run(until=final)
+        self._pending = (prog.collect(self._owned),
+                         prog.sim.events_processed, prog.sim.now)
+
+    def recv_result(self) -> tuple:
+        return self.recv_state()
+
+    def close(self) -> None:
+        self._prog = None
+
+
+def _worker_main(build: t.Callable[[], t.Any], index: int, shards: int,
+                 conn: t.Any) -> None:
+    """Forked-worker body: build, hand-shake, then obey the barrier loop."""
+    try:
+        prog = build()
+        boundary = prog.fabric.boundary
+        if boundary is None:
+            raise ShardError("built program has no ShardBoundary")
+        domains = tuple(prog.domains)
+        conn.send(("hello", domains, boundary.lookahead_ns))
+        owned = _owned_of(domains, index, shards)
+        _switchover(prog, owned)
+        prog.start(owned)
+        conn.send(("state",) + _state_of(prog))
+        deliver = prog.fabric._deliver
+        while True:
+            cmd = conn.recv()
+            op = cmd[0]
+            if op == "step":
+                _op, msgs, until = cmd
+                for env in msgs:
+                    deliver(env)
+                if until is not None:
+                    prog.sim.run(until=until)
+                conn.send(("state",) + _state_of(prog))
+            elif op == "finish":
+                final = cmd[1]
+                if final is not None:
+                    prog.sim.run(until=final)
+                conn.send(("result", prog.collect(owned),
+                           prog.sim.events_processed, prog.sim.now))
+                return
+            else:  # "stop"
+                return
+    except BaseException as exc:  # surface the traceback to the parent
+        import traceback
+        try:
+            conn.send(("error", repr(exc), traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class _ForkedShard:
+    """A replica in a forked worker process (multiprocess mode)."""
+
+    parallel = True
+
+    def __init__(self, build: t.Callable[[], t.Any], index: int,
+                 shards: int) -> None:
+        import multiprocessing
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX
+            raise ShardError(
+                "multiprocess sharding requires the fork start method "
+                "(use virtual sharding on this platform)") from exc
+        self.index = index
+        self._conn, child = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_worker_main, args=(build, index, shards, child),
+            name=f"repro-shard-{index}", daemon=True)
+        self._proc.start()
+        child.close()
+
+    def _recv(self, want: str) -> tuple:
+        try:
+            msg = self._conn.recv()
+        except EOFError:
+            raise ShardError(
+                f"shard {self.index} worker died without a reply") from None
+        if msg[0] == "error":
+            raise ShardError(
+                f"shard {self.index} worker failed: {msg[1]}\n{msg[2]}")
+        if msg[0] != want:
+            raise ShardError(
+                f"shard {self.index} protocol error: expected {want!r}, "
+                f"got {msg[0]!r}")
+        return msg
+
+    def hello(self) -> tuple[tuple[str, ...], int]:
+        _tag, domains, lookahead = self._recv("hello")
+        return tuple(domains), lookahead
+
+    def send_begin(self) -> None:
+        pass  # the worker begins on its own after the hello
+
+    def send_step(self, msgs: list[tuple], until: int | None) -> None:
+        self._conn.send(("step", msgs, until))
+
+    def recv_state(self) -> tuple:
+        return self._recv("state")[1:]
+
+    def send_finish(self, final: int | None) -> None:
+        self._conn.send(("finish", final))
+
+    def recv_result(self) -> tuple:
+        return self._recv("result")[1:]
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except Exception:
+            pass
+        self._proc.join(timeout=30)
+        if self._proc.is_alive():  # pragma: no cover - defensive
+            self._proc.terminate()
+            self._proc.join(timeout=5)
+
+
+# ---------------------------------------------------------------------------
+# The barrier loop
+# ---------------------------------------------------------------------------
+
+def _envelope_order(env: tuple):
+    """Deterministic channel-merge order: (t_eff, send_time, src, seq)."""
+    return env[:4]
+
+
+def _barrier_loop(handles: list, domains: tuple[str, ...], lookahead: int,
+                  mode: str, deadline: int | None) -> tuple[int, int]:
+    """Advance all replicas window-by-window until done.
+
+    Returns ``(windows, messages)``.  Window rule: with ``nxt`` the
+    earliest pending event or undelivered envelope anywhere, every
+    replica may run to ``nxt + W - 1`` inclusive — any envelope a
+    replica produces inside the window is effective at or after
+    ``nxt + W`` (its send time is at least ``nxt`` and one-way
+    cross-domain latency is at least ``W``), so it is injected at the
+    next barrier before any event at its effective instant runs."""
+    shards = len(handles)
+    owner = {dom: i % shards for i, dom in enumerate(domains)}
+    states = [h.recv_state() for h in handles]
+    windows = 0
+    messages = 0
+    while True:
+        inbox: list[list[tuple]] = [[] for _ in range(shards)]
+        moved = 0
+        msg_min: int | None = None
+        for state in states:
+            for dst_dom, envs in state[1]:
+                inbox[owner[dst_dom]].extend(envs)
+                moved += len(envs)
+                for env in envs:
+                    if msg_min is None or env[0] < msg_min:
+                        msg_min = env[0]
+        for box in inbox:
+            box.sort(key=_envelope_order)
+        messages += moved
+
+        nxt = msg_min
+        for state in states:
+            peek = state[0]
+            if peek is not None and (nxt is None or peek < nxt):
+                nxt = peek
+
+        if mode == "goals":
+            if moved == 0 and all(s[2] for s in states) \
+                    and all(s[3] == 0 for s in states):
+                break
+            if nxt is None:
+                stuck = sum(s[3] for s in states)
+                raise ShardError(
+                    f"sharded run deadlocked: goals unmet, no events "
+                    f"pending in any shard ({stuck} transactions stuck)")
+            until: int | None = nxt + lookahead - 1
+        else:  # fixed deadline
+            if nxt is not None and nxt <= deadline:
+                until = min(nxt + lookahead - 1, deadline)
+            elif moved:
+                # All remaining work is beyond the deadline but some
+                # envelopes are still in hand: inject them (their
+                # events will simply never run) and re-exchange.
+                until = None
+            else:
+                break
+
+        if until is not None:
+            windows += 1
+        for handle, box in zip(handles, inbox):
+            handle.send_step(box, until)
+        states = [h.recv_state() for h in handles]
+    return windows, messages
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class ShardRun:
+    """Outcome of a (possibly degenerate) sharded run."""
+
+    shards: int
+    parallel: bool
+    mode: str
+    #: lock-step windows executed (0 for the single-shard fast path)
+    windows: int
+    #: cross-shard envelopes exchanged
+    messages: int
+    #: total events dispatched, summed over replicas
+    events: int
+    #: final simulated instant (max over replicas)
+    sim_now: int
+    #: per-shard ``collect()`` dicts, in shard order
+    results: list
+    #: ``merge(results)`` when a merge callable was supplied, else None
+    merged: t.Any = None
+
+
+def run_sharded(build: t.Callable[[], t.Any], *, shards: int = 1,
+                parallel: bool = False, mode: str = "goals",
+                deadline: int | None = None,
+                merge: t.Callable[[list], t.Any] | None = None) -> ShardRun:
+    """Run a shard program across ``shards`` replicas.
+
+    ``build`` must construct a fresh program (see the contract above)
+    and is invoked once per replica — under ``parallel=True`` inside
+    forked workers, so it must not depend on state mutated after the
+    call to ``run_sharded``.  ``mode`` is ``"goals"`` (run until every
+    workload finishes) or ``"deadline"`` (run to a fixed instant, the
+    mode whose merged telemetry is byte-comparable across shard
+    counts).  Results are bit-identical for any ``shards``/``parallel``
+    combination; see the module docstring for the contract.
+    """
+    if mode not in ("goals", "deadline"):
+        raise ShardError(f"unknown mode {mode!r}")
+    if mode == "deadline":
+        if deadline is None or deadline < 0:
+            raise ShardError(f"deadline mode needs a deadline: {deadline!r}")
+    elif deadline is not None:
+        raise ShardError("deadline given but mode is 'goals'")
+    if shards < 1:
+        raise ShardError(f"shards must be >= 1: {shards}")
+    if os.environ.get("REPRO_NO_SHARDING") == "1":
+        shards, parallel = 1, False
+
+    if shards == 1 and not parallel:
+        # Single-shard fast path: the boundary is degenerate (every
+        # domain owned, every send self-delivers) so no windows, no
+        # freeze and no barrier are needed.
+        prog = build()
+        boundary = prog.fabric.boundary
+        if boundary is None:
+            raise ShardError("built program has no ShardBoundary")
+        owned = frozenset(prog.domains)
+        procs = prog.start(owned)
+        sim = prog.sim
+        if mode == "goals":
+            for proc in procs or ():
+                sim.run(until=proc)
+            if not prog.goals_done():
+                raise ShardError("workloads returned but goals are unmet")
+        else:
+            sim.run(until=deadline)
+        results = [prog.collect(owned)]
+        return ShardRun(
+            shards=1, parallel=False, mode=mode, windows=0,
+            messages=boundary.messages_out, events=sim.events_processed,
+            sim_now=sim.now, results=results,
+            merged=merge(results) if merge is not None else None)
+
+    factory = _ForkedShard if parallel else _InlineShard
+    handles = [factory(build, k, shards) for k in range(shards)]
+    try:
+        hellos = [h.hello() for h in handles]
+        domains, lookahead = hellos[0]
+        for k, hello in enumerate(hellos):
+            if hello != (domains, lookahead):
+                raise ShardError(
+                    f"replica divergence at build: shard {k} reports "
+                    f"{hello!r}, shard 0 reports {(domains, lookahead)!r}")
+        for handle in handles:
+            handle.send_begin()
+        windows, messages = _barrier_loop(
+            handles, domains, lookahead, mode, deadline)
+        final = deadline if mode == "deadline" else None
+        for handle in handles:
+            handle.send_finish(final)
+        replies = [h.recv_result() for h in handles]
+    finally:
+        for handle in handles:
+            handle.close()
+
+    results = [reply[0] for reply in replies]
+    return ShardRun(
+        shards=shards, parallel=parallel, mode=mode, windows=windows,
+        messages=messages, events=sum(reply[1] for reply in replies),
+        sim_now=max(reply[2] for reply in replies), results=results,
+        merged=merge(results) if merge is not None else None)
+
+
+# ---------------------------------------------------------------------------
+# Merge helpers
+# ---------------------------------------------------------------------------
+
+def value_fingerprint(value: t.Any) -> t.Any:
+    """Hashable, cross-process-comparable identity of a metric value.
+
+    Summaries (dataclasses) compare by field tuple; histograms (any
+    object with sparse ``counts``) by bucket contents — plain ``==``
+    would be identity for histogram objects shipped through a pipe."""
+    if isinstance(value, (int, float, str, bytes, tuple, type(None))):
+        return value
+    if dataclasses.is_dataclass(value):
+        return (type(value).__name__,) + dataclasses.astuple(value)
+    counts = getattr(value, "counts", None)
+    if counts is not None:
+        return (type(value).__name__, getattr(value, "sub_bits", 0),
+                tuple(sorted(counts.items())), value.count, value.total)
+    return repr(value)
+
+
+def merge_disjoint(parts: list[dict]) -> dict:
+    """Union per-shard result dicts whose key sets must not overlap.
+
+    # cross-shard merge — shard order is the outer order and each
+    part's keys are visited sorted, so the merged insertion order is
+    deterministic."""
+    out: dict = {}
+    for part in parts:
+        for key in sorted(part):
+            if key in out:
+                raise ShardError(
+                    f"overlapping key {key!r} in disjoint shard merge")
+            out[key] = part[key]
+    return out
+
+
+#: Merge rules for one metric series across replicas:
+#:   "sum-delta"  counter accumulated only by its owning replica(s):
+#:                base + sum of per-replica deltas
+#:   "equal"      replicated state (e.g. a fault injector running in
+#:                every replica): all replicas must agree; take it
+#:   "max"        monotone gauge: take the largest (e.g. sim time)
+#:   "one"        state owned by exactly one replica: at most one
+#:                replica may differ from the base; take the change
+MergePolicy = t.Callable[[str, str, dict], str]
+
+
+def merge_metric_snapshots(base: dict, ends: list[dict],
+                           policy: MergePolicy):
+    """Rebuild one registry from per-replica telemetry snapshots.
+
+    ``base`` is the snapshot every replica took at switchover (they are
+    bit-identical at that point); ``ends`` are the per-replica final
+    snapshots.  ``policy(family, kind, labels)`` names the merge rule
+    for each series.  Returns a fresh ``MetricsRegistry`` whose
+    Prometheus rendering is byte-identical to an unsharded run's (for
+    fixed-deadline runs; see docs/performance.md for the contract).
+
+    # cross-shard merge — families, series keys and replica lists are
+    all iterated in sorted/shard order."""
+    from ..telemetry.metrics import (COUNTER, GAUGE, HISTOGRAM, SUMMARY,
+                                     MetricsRegistry)
+
+    def series_map(snapshot: dict, name: str) -> dict:
+        family = snapshot.get(name)
+        if family is None:
+            return {}
+        return {tuple(sorted(s["labels"].items())): s["value"]
+                for s in family["series"]}
+
+    registry = MetricsRegistry()
+    names: set[str] = set(base)
+    for end in ends:
+        names.update(end)
+    for name in sorted(names):
+        proto = base.get(name)
+        if proto is None:
+            for end in ends:
+                proto = end.get(name)
+                if proto is not None:
+                    break
+        kind, help_, unit = proto["kind"], proto["help"], proto["unit"]
+        base_series = series_map(base, name)
+        end_series = [series_map(end, name) for end in ends]
+        keys: set[tuple] = set(base_series)
+        for series in end_series:
+            keys.update(series)
+        for key in sorted(keys):
+            labels = dict(key)
+            rule = policy(name, kind, labels)
+            base_value = base_series.get(key)
+            present = [s[key] for s in end_series if key in s]
+            if rule == "sum-delta":
+                start = base_value or 0
+                value: t.Any = start + sum(v - start for v in present)
+            elif rule == "max":
+                value = max(present) if present else base_value
+            elif rule == "equal":
+                prints = {value_fingerprint(v) for v in present}
+                if len(prints) > 1:
+                    raise ShardError(
+                        f"replicated series diverged across shards: "
+                        f"{name}{labels}")
+                value = present[0] if present else base_value
+            elif rule == "one":
+                base_print = value_fingerprint(base_value)
+                changed = [v for v in present
+                           if value_fingerprint(v) != base_print]
+                if len({value_fingerprint(v) for v in changed}) > 1:
+                    raise ShardError(
+                        f"series {name}{labels} changed in more than one "
+                        f"shard but is marked single-owner")
+                if changed:
+                    value = changed[0]
+                elif base_value is not None:
+                    value = base_value
+                else:
+                    value = present[0] if present else None
+            else:
+                raise ShardError(f"unknown merge rule {rule!r} for {name}")
+            if value is None:
+                continue
+            if kind == COUNTER:
+                registry.counter_set(name, value, help=help_, **labels)
+            elif kind == GAUGE:
+                registry.gauge_set(name, value, help=help_, **labels)
+            elif kind == SUMMARY:
+                registry.summary_set(name, value, help=help_, **labels)
+            elif kind == HISTOGRAM:
+                registry.histogram_set(name, value, help=help_, **labels)
+            else:
+                raise ShardError(f"unknown family kind {kind!r} for {name}")
+    return registry

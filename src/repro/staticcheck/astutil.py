@@ -56,6 +56,43 @@ def local_walk(fn: ast.FunctionDef | ast.AsyncFunctionDef
         stack.extend(ast.iter_child_nodes(node))
 
 
+def marked_functions(tree: ast.Module, lines: list[str],
+                     marker: "t.Pattern[str]") -> t.Iterator[
+        ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Functions whose span contains a line matching ``marker``.
+
+    A marker line is attributed to the *innermost* function containing
+    it, so a marked closure does not drag its enclosing function into
+    the marked contract.  Module-level marker lines attribute to
+    nothing.  Both comments and docstring lines count — the raw source
+    is scanned, not the AST.
+    """
+    marker_lines = [i for i, text in enumerate(lines, start=1)
+                    if marker.search(text)]
+    if not marker_lines:
+        return
+    spans = []
+    for _cls, fn in iter_functions(tree):
+        end = getattr(fn, "end_lineno", fn.lineno)
+        spans.append((fn.lineno, end, fn))
+    marked: set[int] = set()
+    for line in marker_lines:
+        innermost = None
+        innermost_size = None
+        for start, end, fn in spans:
+            if start <= line <= end:
+                size = end - start
+                if innermost_size is None or size < innermost_size:
+                    innermost, innermost_size = fn, size
+        if innermost is not None:
+            marked.add(id(innermost))
+    seen: set[int] = set()
+    for _start, _end, fn in spans:
+        if id(fn) in marked and id(fn) not in seen:
+            seen.add(id(fn))
+            yield fn
+
+
 def has_own_yield(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
     """True if the function body itself contains ``yield``/``yield from``."""
     return any(isinstance(node, (ast.Yield, ast.YieldFrom))

@@ -33,7 +33,7 @@ import ast
 import re
 import typing as t
 
-from ..astutil import dotted_name, iter_functions, local_walk
+from ..astutil import dotted_name, local_walk, marked_functions
 from ..findings import Finding
 from ..registry import register
 from ..rule import FileContext, Rule
@@ -68,30 +68,7 @@ def module_dataclasses(tree: ast.Module) -> set[str]:
 def hot_functions(ctx: FileContext) -> t.Iterator[
         ast.FunctionDef | ast.AsyncFunctionDef]:
     """Functions whose body carries a ``# hot-path`` marker comment."""
-    marker_lines = [i for i, text in enumerate(ctx.lines, start=1)
-                    if _MARKER.search(text)]
-    if not marker_lines:
-        return
-    spans = []
-    for _cls, fn in iter_functions(ctx.tree):
-        end = getattr(fn, "end_lineno", fn.lineno)
-        spans.append((fn.lineno, end, fn))
-    hot: dict[int, ast.AST] = {}
-    for line in marker_lines:
-        innermost = None
-        innermost_size = None
-        for start, end, fn in spans:
-            if start <= line <= end:
-                size = end - start
-                if innermost_size is None or size < innermost_size:
-                    innermost, innermost_size = fn, size
-        if innermost is not None:
-            hot[id(innermost)] = innermost
-    seen: set[int] = set()
-    for _start, _end, fn in spans:
-        if id(fn) in hot and id(fn) not in seen:
-            seen.add(id(fn))
-            yield fn
+    return marked_functions(ctx.tree, ctx.lines, _MARKER)
 
 
 @register

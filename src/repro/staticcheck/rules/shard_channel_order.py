@@ -1,0 +1,139 @@
+"""Rule ``shard-channel-order``: merge functions iterate in total order.
+
+The sharded event loop (``repro.sim.shard``) promises bit-identical
+results regardless of shard count.  That promise survives exactly as
+long as every function that combines per-shard state visits it in a
+*canonical* order: per-``(src, dst)`` channel sequence numbers for
+envelopes, sorted keys for dict unions, tuple order for domain lists.
+A function that opts into that contract carries a ``cross-shard
+merge`` marker (in a comment or its docstring), and inside it two
+iteration patterns are flagged:
+
+* **set iteration** — ``for x in some_set``, set literals, set
+  comprehensions, ``set()`` / ``frozenset()`` calls and set-algebra
+  expressions (``a | b``).  Python sets hash-order their elements, so
+  two replicas that inserted in different orders iterate differently
+  and the merge result depends on which shard the data came from.
+* **dict-view iteration** — ``.keys()`` / ``.values()`` / ``.items()``
+  (and bare-dict ``for k in d``) not wrapped in ``sorted(...)``.
+  Insertion order *is* deterministic within one process, but a merge
+  function consumes dicts populated by *different* shards in
+  shard-local order; only an explicit sort imposes the same total
+  order everywhere.
+
+The sanctioned fix is ``sorted(...)`` (all merge keys in this repo —
+domain names, metric family names, label tuples — are orderable).  A
+genuinely order-free loop (e.g. building a lookup table) may carry
+``# staticcheck: ignore[shard-channel-order]`` with a justification,
+same as every other rule's escape hatch.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import typing as t
+
+from ..astutil import dotted_name, local_walk, marked_functions
+from ..findings import Finding
+from ..registry import register
+from ..rule import FileContext, Rule
+
+_MARKER = re.compile(r"cross-shard merge")
+
+#: callables whose result is a hash-ordered set
+_SET_CALLS = ("set", "frozenset")
+#: dict-view accessors whose order is shard-local insertion order
+_VIEW_METHODS = ("keys", "values", "items")
+#: callables that impose (or preserve) an explicit total order
+_ORDERING_CALLS = ("sorted", "list", "tuple", "enumerate", "zip",
+                   "reversed", "range", "min", "max", "sum")
+
+
+def _set_typed_names(fn: ast.FunctionDef | ast.AsyncFunctionDef
+                     ) -> set[str]:
+    """Local names bound to an obviously set-valued expression."""
+    names: set[str] = set()
+    for node in local_walk(fn):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = node.value
+            if value is None or not _is_set_expr(value, names):
+                continue
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _is_set_expr(node: ast.AST, set_names: set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func) in _SET_CALLS
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return (_is_set_expr(node.left, set_names)
+                or _is_set_expr(node.right, set_names))
+    return False
+
+
+@register
+class ShardChannelOrder(Rule):
+    name = "shard-channel-order"
+    summary = ("no unordered set/dict iteration in cross-shard merge "
+               "functions")
+
+    def applies(self, ctx: FileContext) -> bool:
+        # The checker's own sources talk *about* the marker in prose;
+        # do not let the docstrings mark the rule machinery itself.
+        return not ctx.module_rel.startswith("repro/staticcheck/")
+
+    def check(self, ctx: FileContext) -> t.Iterator[Finding]:
+        for fn in marked_functions(ctx.tree, ctx.lines, _MARKER):
+            set_names = _set_typed_names(fn)
+            for node in local_walk(fn):
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    yield from self._check_iterable(
+                        ctx, fn, node.iter, set_names)
+                elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                       ast.DictComp, ast.GeneratorExp)):
+                    for gen in node.generators:
+                        yield from self._check_iterable(
+                            ctx, fn, gen.iter, set_names)
+
+    def _check_iterable(self, ctx: FileContext, fn: ast.AST,
+                        expr: ast.AST, set_names: set[str]
+                        ) -> t.Iterator[Finding]:
+        # sorted(...) and friends impose the canonical order; anything
+        # underneath them is by definition fine.
+        if isinstance(expr, ast.Call):
+            callee = dotted_name(expr.func)
+            if callee in _ORDERING_CALLS:
+                return
+            if callee in _SET_CALLS:
+                yield self.finding(
+                    ctx, expr,
+                    f"{callee}() iterated in cross-shard merge function "
+                    f"{fn.name}: set order is hash order and differs "
+                    f"between replicas — wrap in sorted(...)")
+                return
+            if (isinstance(expr.func, ast.Attribute)
+                    and expr.func.attr in _VIEW_METHODS):
+                yield self.finding(
+                    ctx, expr,
+                    f".{expr.func.attr}() iterated in cross-shard merge "
+                    f"function {fn.name}: dict views replay shard-local "
+                    f"insertion order — iterate sorted(d) and index, or "
+                    f"sort the view")
+            return
+        if isinstance(expr, (ast.Set, ast.SetComp)) \
+                or _is_set_expr(expr, set_names):
+            yield self.finding(
+                ctx, expr,
+                f"set iterated in cross-shard merge function {fn.name}: "
+                f"set order is hash order and differs between replicas "
+                f"— wrap in sorted(...)")

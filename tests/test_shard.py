@@ -1,0 +1,162 @@
+"""Sharded event loop: equivalence, determinism and contract tests.
+
+The tentpole claim under test: for one seed, a scenario produces
+*bit-identical* results whether it runs as a single event loop
+(``shards=1``), as K replicas multiplexed in one process (*virtual*
+sharding), or as K forked worker processes.  Compared per run:
+
+* per-client fio accounting (completed, errors, bytes, exact latency
+  sums) — the simulated performance results;
+* CRC32 digests of every namespace's extent map — end-to-end data
+  integrity;
+* for fixed-deadline runs, the merged Prometheus rendering, byte for
+  byte — the telemetry merge (goals-mode final clocks legitimately
+  differ between shard counts, so only fio/checksums compare there).
+
+Virtual sharding exists precisely for these tests: it exercises the
+whole window/channel machinery (freeze, lookahead barriers, ordered
+envelope channels, metric merge) without fork overhead, so the suite
+stays fast while covering the same code the multiprocess mode runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.sharded import (build_chaos, build_cluster,
+                                     build_fig10, build_multihost,
+                                     merge_program_results)
+from repro.sim import ShardError, merge_disjoint, run_sharded
+
+# (builder factory, mode, deadline, shard counts worth testing)
+# cluster uses 3 shards: with 2 or 4, placement happens to put every
+# volume in the same shard as its device and no envelope ever crosses
+# a boundary — 3 forces real cross-shard traffic.
+CASES = {
+    "fig10": (lambda: build_fig10(total_ios=80), "goals", None, (2,)),
+    "multihost": (lambda: build_multihost(ios_per_client=40),
+                  "goals", None, (2, 4)),
+    "chaos": (lambda: build_chaos(ios_per_client=30),
+              "deadline", 4_000_000, (2, 4)),
+    "cluster": (lambda: build_cluster(ios_per_client=30),
+                "goals", None, (3,)),
+}
+
+PARAMS = [(name, k) for name, case in CASES.items() for k in case[3]]
+
+_baseline_cache: dict[str, dict] = {}
+
+
+def _baseline(name: str) -> dict:
+    if name not in _baseline_cache:
+        factory, mode, deadline, _counts = CASES[name]
+        run = run_sharded(factory(), shards=1, mode=mode,
+                          deadline=deadline)
+        _baseline_cache[name] = merge_program_results(run.results)
+    return _baseline_cache[name]
+
+
+def _assert_equivalent(name: str, merged: dict, mode: str) -> None:
+    base = _baseline(name)
+    assert merged["fio"] == base["fio"]
+    assert merged["checksums"] == base["checksums"]
+    assert any(merged["checksums"].values()), \
+        "digest trivially zero — workload never wrote an extent"
+    if mode == "deadline":
+        assert merged["prometheus"] == base["prometheus"]
+        assert merged["sim_now"] == base["sim_now"]
+
+
+@pytest.mark.parametrize("name,shards", PARAMS)
+def test_virtual_sharding_matches_single_loop(name, shards):
+    factory, mode, deadline, _counts = CASES[name]
+    run = run_sharded(factory(), shards=shards, mode=mode,
+                      deadline=deadline)
+    assert run.shards == shards and not run.parallel
+    assert run.windows > 0
+    _assert_equivalent(name, merge_program_results(run.results), mode)
+
+
+@pytest.mark.parametrize("name,shards", [("fig10", 2), ("chaos", 2)])
+def test_multiprocess_sharding_matches_single_loop(name, shards):
+    factory, mode, deadline, _counts = CASES[name]
+    run = run_sharded(factory(), shards=shards, parallel=True,
+                      mode=mode, deadline=deadline)
+    assert run.parallel
+    _assert_equivalent(name, merge_program_results(run.results), mode)
+
+
+def test_cross_shard_traffic_is_actually_exercised():
+    # A partitioning where all traffic stays shard-local would make
+    # the equivalence tests vacuous; pin that the chosen shard counts
+    # push real envelopes through the ordered channels.
+    factory, mode, deadline, counts = CASES["multihost"]
+    run = run_sharded(factory(), shards=counts[0], mode=mode,
+                      deadline=deadline)
+    assert run.messages > 0
+    factory, mode, deadline, counts = CASES["cluster"]
+    run = run_sharded(factory(), shards=counts[0], mode=mode,
+                      deadline=deadline)
+    assert run.messages > 0
+
+
+def test_no_sharding_escape_hatch(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_SHARDING", "1")
+    factory, mode, deadline, _counts = CASES["fig10"]
+    run = run_sharded(factory(), shards=4, parallel=True, mode=mode,
+                      deadline=deadline)
+    assert run.shards == 1 and not run.parallel and run.windows == 0
+    _assert_equivalent("fig10", merge_program_results(run.results), mode)
+
+
+def test_replica_divergence_is_detected():
+    inner = CASES["fig10"][0]()
+    calls = {"n": 0}
+
+    def flaky():
+        prog = inner()
+        calls["n"] += 1
+        if calls["n"] == 2:
+            prog.domains = tuple(reversed(prog.domains))
+        return prog
+
+    with pytest.raises(ShardError, match="diverg"):
+        run_sharded(flaky, shards=2)
+
+
+def test_lookahead_violation_is_loud():
+    # A send whose effective time lands inside the lookahead window
+    # would be a message the barrier already advanced past — the
+    # boundary must refuse it rather than deliver it late.
+    prog = CASES["fig10"][0]()()
+    boundary = prog.fabric.boundary
+    now = prog.sim.now
+    payload = (None, "host1.ntb", None, 0, 0)
+    with pytest.raises(ShardError, match="lookahead"):
+        boundary.enqueue("host0",
+                         (now + 1, now, 0, 0, payload), now)
+
+
+def test_sanitizer_refused_up_front():
+    with pytest.raises(ShardError, match="ShareSan"):
+        build_fig10(sanitizer=True)
+    with pytest.raises(ShardError, match="ShareSan"):
+        build_multihost(sanitizer=True)
+    with pytest.raises(ShardError, match="ShareSan"):
+        build_chaos(sanitizer=True)
+    with pytest.raises(ShardError, match="ShareSan"):
+        build_cluster(sanitizer=True)
+
+
+def test_perfetto_export_refused_when_sharded():
+    factory, mode, deadline, _counts = CASES["fig10"]
+    run = run_sharded(factory(), shards=2, mode=mode, deadline=deadline)
+    merged = merge_program_results(run.results)
+    with pytest.raises(ShardError, match="shards > 1"):
+        merged["perfetto_json"]()
+
+
+def test_merge_disjoint_rejects_overlap():
+    assert merge_disjoint([{"a": 1}, {"b": 2}]) == {"a": 1, "b": 2}
+    with pytest.raises(ShardError):
+        merge_disjoint([{"a": 1}, {"a": 2}])
