@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Noisy-neighbour isolation: bystander tail latency per fetch policy.
+
+One aggressor tenant offers far more open-loop load than its fair share
+of the shared-SQ fetch loop while three bystanders offer a modest rate;
+all four share ONE shared queue pair (``repro.scenarios.noisy_neighbor``).
+For each arbitration policy and each aggressor load level the benchmark
+records the worst bystander p99 (open-loop, from scheduled arrival) and
+compares it against the *solo* baseline — the identical bystander
+arrival streams with the aggressor idle:
+
+* ``fifo``         — global arrival order; the aggressor's deep backlog
+  queues in front of everyone (the baseline that fails to isolate);
+* ``wfq``          — deficit-round-robin fetch arbitration;
+* ``wfq+throttle`` — wfq plus burn-rate admission throttling clamping
+  the alerting aggressor's submission window.
+
+Gates (``--check``): at the highest load level the bystander p99 under
+``wfq+throttle`` must stay within **1.5x** its solo-run p99 while
+``fifo`` exceeds **5x** — i.e. the isolation is real and the baseline's
+failure is non-vacuous.  Runs are fully seeded, so the gated numbers
+are deterministic.
+
+Usage::
+
+    python benchmarks/bench_qos_isolation.py                 # full sweep
+    python benchmarks/bench_qos_isolation.py --quick --check # CI gate
+    python benchmarks/bench_qos_isolation.py --record after \
+        --json BENCH_qos_isolation.json                      # trajectory
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.qos import run_qos                                 # noqa: E402
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+DEFAULT_JSON = REPO_ROOT / "BENCH_qos_isolation.json"
+
+#: aggressor offered-load sweep (IOPS); the shared-SQ fetch loop
+#: saturates around ~530 kIOPS, so the top level is ~2x overload
+LOADS = (250_000.0, 500_000.0, 1_000_000.0)
+QUICK_LOADS = (1_000_000.0,)
+
+#: (full, quick) open-loop horizons in simulated ns
+HORIZONS = (8_000_000, 4_000_000)
+
+POLICIES = (("fifo", False), ("wfq", False), ("wfq", True))
+
+
+def policy_label(policy: str, throttle: bool) -> str:
+    return f"{policy}+throttle" if throttle else policy
+
+
+def run_suite(quick: bool, seed: int) -> dict:
+    horizon = HORIZONS[1] if quick else HORIZONS[0]
+    loads = QUICK_LOADS if quick else LOADS
+
+    solo = run_qos("off", aggressor_active=False, seed=seed,
+                   horizon_ns=horizon)
+    solo_p99 = solo.bystander_p99_ns()
+    print(f"solo bystander p99: {solo_p99:,.0f} ns "
+          f"(horizon {horizon / 1e6:.0f} ms)")
+
+    sweep: dict[str, list[dict]] = {}
+    for policy, throttle in POLICIES:
+        label = policy_label(policy, throttle)
+        rows = []
+        for load in loads:
+            run = run_qos(policy, throttle=throttle, seed=seed,
+                          aggressor_iops=load, horizon_ns=horizon)
+            p99 = run.bystander_p99_ns()
+            agg = run.results[0]
+            assert agg is not None
+            rows.append({
+                "aggressor_offered_iops": load,
+                "aggressor_achieved_iops": round(agg.achieved_iops, 1),
+                "bystander_p99_ns": round(p99, 1),
+                "ratio_vs_solo": round(p99 / solo_p99, 3),
+                "bystander_alerts": sum(
+                    len(run.tenant_alerts(t)) for t in run.bystanders),
+                "aggressor_alerts": len(
+                    run.tenant_alerts(run.aggressor)),
+            })
+            print(f"  {label:13s} load={load / 1e3:6.0f}k  "
+                  f"p99={p99:10,.0f} ns  ({p99 / solo_p99:5.2f}x solo)")
+        sweep[label] = rows
+    return {"solo_p99_ns": round(solo_p99, 1), "horizon_ns": horizon,
+            "seed": seed, "loads": list(loads), "policies": sweep}
+
+
+def check(results: dict, isolate_gate: float, leak_gate: float) -> int:
+    """Gate on the highest-load point of each policy's sweep."""
+    failures = []
+    top_wt = results["policies"]["wfq+throttle"][-1]
+    top_fifo = results["policies"]["fifo"][-1]
+    if top_wt["ratio_vs_solo"] > isolate_gate:
+        failures.append(
+            f"wfq+throttle bystander p99 is {top_wt['ratio_vs_solo']}x "
+            f"solo (gate: <= {isolate_gate}x)")
+    if top_fifo["ratio_vs_solo"] <= leak_gate:
+        failures.append(
+            f"fifo bystander p99 is only {top_fifo['ratio_vs_solo']}x "
+            f"solo (gate: > {leak_gate}x — the no-isolation baseline "
+            f"must visibly fail, or the comparison is vacuous)")
+    if top_wt["bystander_alerts"]:
+        failures.append("wfq+throttle fired bystander alerts")
+    if not top_wt["aggressor_alerts"]:
+        failures.append("wfq+throttle fired no aggressor alert")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print(f"isolation gates met: wfq+throttle "
+              f"{top_wt['ratio_vs_solo']}x <= {isolate_gate}x, "
+              f"fifo {top_fifo['ratio_vs_solo']}x > {leak_gate}x")
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="single load level, short horizon (CI smoke)")
+    ap.add_argument("--seed", type=int, default=7)
+    ap.add_argument("--json", type=pathlib.Path, default=None,
+                    help="write results into this trajectory file")
+    ap.add_argument("--record", choices=("before", "after"), default=None,
+                    help="label under which to record in the trajectory")
+    ap.add_argument("--check", action="store_true",
+                    help="fail when the isolation gates are missed")
+    ap.add_argument("--isolate-gate", type=float, default=1.5,
+                    help="max bystander p99 / solo p99 for wfq+throttle")
+    ap.add_argument("--leak-gate", type=float, default=5.0,
+                    help="min bystander p99 / solo p99 for fifo")
+    ap.add_argument("--out", type=pathlib.Path, default=None,
+                    help="also dump this run's raw results as JSON")
+    args = ap.parse_args(argv)
+
+    results = run_suite(args.quick, args.seed)
+    current = {"quick": args.quick, "results": results}
+
+    if args.out is not None:
+        args.out.write_text(json.dumps(current, indent=2) + "\n")
+
+    if args.record is not None:
+        path = args.json or DEFAULT_JSON
+        data = (json.loads(path.read_text()) if path.exists()
+                else {"benchmark": "bench_qos_isolation",
+                      "units": {"bystander_p99_ns":
+                                "worst bystander open-loop p99, ns",
+                                "ratio_vs_solo":
+                                "bystander p99 / solo-run p99"},
+                      "runs": {}})
+        mode = "quick" if args.quick else "full"
+        data["runs"].setdefault(args.record, {})[mode] = results
+        path.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"recorded {mode!r} results as {args.record!r} in {path}")
+
+    if args.check:
+        return check(results, args.isolate_gate, args.leak_gate)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -215,6 +215,83 @@ def _cmd_slo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_qos(args: argparse.Namespace) -> int:
+    # Lazy import: pulls in the scenario builders + telemetry stack.
+    import json
+    import pathlib
+
+    from .qos import run_qos
+
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    throttle = args.throttle and args.policy in ("wfq", "strict")
+    print(f"running noisy-neighbour QoS run (policy={args.policy} "
+          f"throttle={'on' if throttle else 'off'} "
+          f"bystanders={args.bystanders} seed={args.seed}) ...")
+    run = run_qos(args.policy, throttle=throttle,
+                  n_bystanders=args.bystanders, seed=args.seed,
+                  aggressor_iops=args.aggressor_iops,
+                  bystander_iops=args.bystander_iops,
+                  horizon_ns=args.horizon_ns)
+    summary = run.summary()
+    summary_path = out_dir / "qos-summary.json"
+    series_path = out_dir / "qos-timeseries.jsonl"
+    report_path = out_dir / "qos-report.json"
+    prom_path = out_dir / "qos-metrics.prom"
+    summary_path.write_text(json.dumps(summary, indent=2,
+                                       sort_keys=True) + "\n")
+    series_path.write_text(run.timeseries_jsonl())
+    report_path.write_text(run.slo_report_json())
+    prom_path.write_text(run.prometheus_text())
+
+    rows = []
+    for tenant in run.tenants:
+        entry = summary["tenants"][tenant]
+        rows.append([tenant, entry["role"],
+                     f"{entry.get('offered_iops', 0):.0f}",
+                     f"{entry.get('p99_ns', 0):.0f}",
+                     "yes" if entry["met"] else "NO",
+                     str(entry["alerts"])])
+    print(format_table(
+        ["tenant", "role", "offered iops", "p99 ns", "slo met",
+         "alerts"], rows,
+        title=f"policy={args.policy} throttle="
+              f"{'on' if throttle else 'off'}"))
+    if run.throttled:
+        print(f"  throttle: {run.throttle_report}")
+    for path in (summary_path, series_path, report_path, prom_path):
+        print(f"  wrote {path} ({path.stat().st_size} bytes)")
+
+    if args.check:
+        bystander_alerts = [t for t in run.bystanders
+                            if run.tenant_alerts(t)]
+        bystanders_met = all(run.report["tenants"][t]["met"]
+                             for t in run.bystanders)
+        if args.policy in ("wfq", "strict"):
+            # Isolation policies must protect the bystanders and still
+            # call out the aggressor.
+            if bystander_alerts:
+                print(f"CHECK FAILED: bystander alerts under "
+                      f"{args.policy}: {bystander_alerts}")
+                return 1
+            if not bystanders_met:
+                print(f"CHECK FAILED: bystander SLO missed under "
+                      f"{args.policy}")
+                return 1
+            if not run.tenant_alerts(run.aggressor):
+                print("CHECK FAILED: aggressor fired no alert")
+                return 1
+        else:
+            # fifo/off are the baselines that demonstrably fail to
+            # isolate — the check is non-vacuous only if they do fail.
+            if not bystander_alerts:
+                print(f"CHECK FAILED: {args.policy} isolated the "
+                      f"bystanders (expected the noisy neighbour to "
+                      f"leak through)")
+                return 1
+    return 0
+
+
 def _cmd_sharded(args: argparse.Namespace) -> int:
     # Lazy import: the shard runner pulls in multiprocessing glue the
     # plain simulation commands never need.
@@ -407,6 +484,29 @@ def build_parser() -> argparse.ArgumentParser:
     slo.add_argument("--check", action="store_true",
                      help="exit non-zero if the kill fired no alert")
     slo.set_defaults(func=_cmd_slo)
+
+    qos = sub.add_parser(
+        "qos",
+        help="open-loop noisy-neighbour run with per-tenant QoS at "
+             "the shared-SQ arbitration point")
+    qos.add_argument("--policy", default="wfq",
+                     choices=["off", "fifo", "wfq", "strict"])
+    qos.add_argument("--no-throttle", dest="throttle",
+                     action="store_false",
+                     help="disable burn-rate admission throttling "
+                          "(wfq/strict only; fifo/off never throttle)")
+    qos.add_argument("--bystanders", type=int, default=3)
+    qos.add_argument("--aggressor-iops", type=float, default=1_000_000.0)
+    qos.add_argument("--bystander-iops", type=float, default=50_000.0)
+    qos.add_argument("--horizon-ns", type=int, default=8_000_000,
+                     help="open-loop arrival horizon (simulated ns)")
+    qos.add_argument("--seed", type=int, default=7)
+    qos.add_argument("--out-dir", default="qos-out",
+                     help="directory for the exported files")
+    qos.add_argument("--check", action="store_true",
+                     help="exit non-zero unless wfq/strict isolate the "
+                          "bystanders (and fifo/off visibly don't)")
+    qos.set_defaults(func=_cmd_qos)
 
     sh = sub.add_parser(
         "sharded",

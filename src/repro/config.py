@@ -338,6 +338,60 @@ class QpSharingConfig:
 
 
 # ---------------------------------------------------------------------------
+# Per-tenant QoS at the shared-SQ arbitration point (docs/qos.md)
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class QosConfig:
+    """Fetch arbitration + admission throttling for shared SQs.
+
+    Everything defaults to *off* (the zero/False values below) so the
+    calibrated seed runs stay bit-identical; QoS scenarios enable it
+    explicitly.  When off, the shared-SQ worker runs the original
+    one-SQE-per-grant round-robin from docs/queue_sharing.md.
+    """
+
+    #: Master switch.  Off keeps the original round-robin fetch loop.
+    enabled: bool = False
+    #: Arbitration policy applied at the shared-SQ fetch point:
+    #: ``fifo``  — global arrival order across windows (a tenant's deep
+    #:             backlog delays everyone behind it; the baseline that
+    #:             demonstrably fails to isolate),
+    #: ``wfq``   — deficit round-robin, weight-proportional service,
+    #: ``strict``— strict priority by weight, round-robin within a tier.
+    policy: str = "fifo"
+    #: DRR quantum in SQEs credited each time the round-robin pointer
+    #: reaches a backlogged window (multiplied by the window's weight).
+    quantum: int = 4
+    #: Per-window weights, indexed by window index; windows beyond the
+    #: tuple get ``default_weight``.  Only ``wfq``/``strict`` read them.
+    weights: tuple[int, ...] = ()
+    default_weight: int = 1
+    #: Admission throttling: when a tenant's burn-rate alert (see
+    #: docs/observability.md) is active, clamp its driver-side window of
+    #: outstanding commands to this many; 0 disables throttling.
+    throttle_window: int = 0
+    #: How often the throttle process re-reads the SLO engine's alerts.
+    throttle_check_interval_ns: int = 200_000
+    #: An alert must stay resolved this long before the clamp is lifted
+    #: (prevents fire/resolve flapping from bouncing the window).
+    throttle_cooldown_ns: int = 400_000
+
+    def weight(self, index: int) -> int:
+        if index < len(self.weights):
+            return max(1, self.weights[index])
+        return max(1, self.default_weight)
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("fifo", "wfq", "strict"):
+            raise ValueError(f"unknown qos policy {self.policy!r}")
+        if self.quantum < 1:
+            raise ValueError("quantum must be >= 1 SQE")
+        if self.throttle_window < 0:
+            raise ValueError("throttle_window must be >= 0")
+
+
+# ---------------------------------------------------------------------------
 # Cluster / NTB scenario parameters
 # ---------------------------------------------------------------------------
 
@@ -378,6 +432,7 @@ class SimulationConfig:
         default_factory=ReliabilityConfig)
     sharing: QpSharingConfig = dataclasses.field(
         default_factory=QpSharingConfig)
+    qos: QosConfig = dataclasses.field(default_factory=QosConfig)
     seed: int = 42
 
 

@@ -142,6 +142,10 @@ class DistributedNvmeClient(BlockDevice):
         self.timeouts = 0
         self.retries = 0
         self.stale_completions = 0
+        #: admission throttle (docs/qos.md): when set, outstanding
+        #: commands are clamped to this many; None = unthrottled.
+        self.qos_window: int | None = None
+        self.throttled_ios = 0
         #: ShareSan hook (docs/sanitizer.md); NULL object when off.
         self.sanitizer = NULL_SANITIZER
 
@@ -379,6 +383,16 @@ class DistributedNvmeClient(BlockDevice):
         # Release submitters parked on a full (shared) SQ window.
         self._sq_space.fire()
 
+    def set_qos_window(self, window: int | None) -> None:
+        """Clamp (or, with None, unclamp) outstanding commands
+        (docs/qos.md).  Called by :class:`~repro.qos.AdmissionThrottle`
+        while this tenant's burn-rate alert is active."""
+        prev = self.qos_window
+        self.qos_window = window
+        if window is None or (prev is not None and window > prev):
+            # Widening/lifting the clamp can unblock parked submitters.
+            self._sq_space.fire()
+
     def _heartbeat(self) -> t.Generator:
         """Post the liveness counter into the metadata segment."""
         assert self._meta_conn is not None
@@ -503,6 +517,16 @@ class DistributedNvmeClient(BlockDevice):
                                       if self.crashed
                                       else STATUS_HOST_SHUTDOWN)
                 break
+            qos_window = self.qos_window
+            if (qos_window is not None
+                    and len(self._inflight) >= qos_window):
+                # Admission throttle active (docs/qos.md): hold the
+                # request until a completion shrinks the outstanding
+                # set below the clamped window (the signal also fires
+                # on shutdown/crash and when the clamp is lifted).
+                self.throttled_ios += 1
+                yield self._sq_space.wait()
+                continue
             if self.sq.is_full():
                 if rel.command_timeout_ns <= 0:
                     # Recovery disabled: nothing can be lost, so the

@@ -35,6 +35,7 @@ from .constants import (CC_EN, CSTS_RDY, CSTS_SHST_COMPLETE, DOORBELL_BASE,
                         CNS_ACTIVE_NS_LIST, CNS_CONTROLLER, CNS_NAMESPACE,
                         FEAT_NUM_QUEUES,
                         IDENTIFY_SIZE, SQE_SIZE)
+from ..qos.arbiter import Arbiter, make_arbiter
 from .media import Media, OptaneMedia
 from .namespace import Namespace, NamespaceError
 from .prp import PrpError, resolve_prps
@@ -55,6 +56,9 @@ class _ControllerSq:
     #: into per-tenant windows, each a sub-ring with its own doorbell
     #: tail; None for a conventional SQ.
     windows: list[SqWindowState] | None = None
+    #: QoS fetch arbiter (docs/qos.md); None runs the original
+    #: round-robin grant loop.
+    arbiter: Arbiter | None = None
 
 
 @dataclasses.dataclass(slots=True)
@@ -104,6 +108,9 @@ class NvmeController(PCIeFunction):
         self.telemetry = NULL_TELEMETRY
         #: ShareSan hook (docs/sanitizer.md); NULL object when off.
         self.sanitizer = NULL_SANITIZER
+        #: optional QosConfig (docs/qos.md); when set and enabled,
+        #: shared SQs created afterwards get a fetch arbiter.
+        self.qos = None
         #: accounting
         self.commands_completed = 0
         self.fetches = 0
@@ -248,6 +255,11 @@ class NvmeController(PCIeFunction):
                     return
                 if win.is_empty() and wtail != win.db_tail:
                     win.ready_at = self.sim.now
+                arb = sq.arbiter
+                if arb is not None and wtail != win.db_tail:
+                    arb.on_doorbell(
+                        win, (wtail - win.db_tail) % win.entries,
+                        self.sim.now)
                 win.db_tail = wtail
             elif value >= sq.state.entries:
                 self.bad_doorbells += 1
@@ -351,6 +363,7 @@ class NvmeController(PCIeFunction):
         unpack = SubmissionEntry.unpack
         decode_ns = cfg.command_decode_ns
         assert sq.signal is not None and windows is not None
+        arb = sq.arbiter
         nwin = len(windows)
         rr = 0
         while sq.active:
@@ -359,12 +372,15 @@ class NvmeController(PCIeFunction):
                 if not sq.active:
                     return
             win = None
-            for off in range(nwin):
-                cand = windows[(rr + off) % nwin]
-                if not cand.is_empty():
-                    win = cand
-                    rr = (rr + off + 1) % nwin
-                    break
+            if arb is None:
+                for off in range(nwin):
+                    cand = windows[(rr + off) % nwin]
+                    if not cand.is_empty():
+                        win = cand
+                        rr = (rr + off + 1) % nwin
+                        break
+            else:
+                win = arb.select(windows)
             if win is None:
                 yield sq.signal.wait()
                 if not sq.active:
@@ -379,9 +395,13 @@ class NvmeController(PCIeFunction):
                 # Same retry discipline as the private path: the window
                 # head is not advanced, so the same slot is re-fetched.
                 self.fetch_retries += 1
+                if arb is not None:
+                    arb.refund(win)
                 yield sim.sleep(cfg.doorbell_to_fetch_ns)
                 continue
             win.advance_head()
+            if arb is not None:
+                arb.on_fetch(win)
             wait_ns = granted_at - win.ready_at
             # The next entry (if any) has been waiting since this grant.
             win.ready_at = granted_at
@@ -515,6 +535,9 @@ class NvmeController(PCIeFunction):
             sq.windows = [SqWindowState(index=i, start=i * win_entries,
                                         entries=win_entries)
                           for i in range(entries // win_entries)]
+            qos = self.qos
+            if qos is not None and qos.enabled:
+                sq.arbiter = make_arbiter(qos, len(sq.windows))
         self.sqs[qid] = sq
         san = self.sanitizer
         if san.enabled:

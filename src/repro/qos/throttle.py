@@ -1,0 +1,96 @@
+"""Admission throttling driven by burn-rate SLO alerts.
+
+The arbiter (``qos/arbiter.py``) bounds how much fetch service a
+misbehaving tenant gets, but a tenant ringing its full window still
+occupies every slot of its sub-ring and keeps the controller's fetch
+loop busy skipping it.  The cheaper fix is upstream: clamp the
+*driver-side* window of outstanding commands while the tenant's
+burn-rate alert (docs/observability.md) is active, so the excess load
+never reaches the shared ring at all.
+
+:class:`AdmissionThrottle` is a sim process that periodically reads the
+:class:`~repro.telemetry.slo.SloEngine`'s per-tenant alert state and
+applies/lifts the clamp on the matching
+:class:`~repro.driver.client.DistributedNvmeClient`.  Tenants are
+scanned in sorted order and the check interval is fixed, so runs are
+deterministic.  The clamp is lifted only after the alert has stayed
+resolved for ``throttle_cooldown_ns`` (hysteresis against burn-rate
+flapping).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from ..config import QosConfig
+    from ..driver.client import DistributedNvmeClient
+    from ..sim import Simulator
+    from ..telemetry.slo import SloEngine
+
+
+class AdmissionThrottle:
+    """Clamps alerting tenants' submission windows (docs/qos.md)."""
+
+    def __init__(self, sim: "Simulator", qos: "QosConfig",
+                 slo: "SloEngine") -> None:
+        self.sim = sim
+        self.qos = qos
+        self.slo = slo
+        self.clients: dict[str, "DistributedNvmeClient"] = {}
+        self.throttles_applied = 0
+        self.throttles_released = 0
+        self._last_active: dict[str, int] = {}
+        self._running = False
+        self._proc = None
+
+    def attach(self, clients: t.Iterable["DistributedNvmeClient"]) -> None:
+        """Register the clients (keyed by tenant name) to police."""
+        for client in clients:
+            self.clients[client.tenant] = client
+
+    @property
+    def enabled(self) -> bool:
+        return self.qos.throttle_window > 0
+
+    def start(self) -> None:
+        if not self.enabled or self._running:
+            return
+        self._running = True
+        self._proc = self.sim.process(self._watch())
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _watch(self) -> t.Generator:
+        interval = self.qos.throttle_check_interval_ns
+        cooldown = self.qos.throttle_cooldown_ns
+        clamp = self.qos.throttle_window
+        while self._running:
+            yield self.sim.sleep(interval)
+            if not self._running:
+                return
+            now = self.sim.now
+            for tenant in sorted(self.clients):
+                client = self.clients[tenant]
+                active = any(a.active for a in self.slo.alerts_for(tenant))
+                if active:
+                    self._last_active[tenant] = now
+                    if client.qos_window is None:
+                        client.set_qos_window(clamp)
+                        self.throttles_applied += 1
+                elif client.qos_window is not None:
+                    last = self._last_active.get(tenant, now)
+                    if now - last >= cooldown:
+                        client.set_qos_window(None)
+                        self.throttles_released += 1
+
+    def report(self) -> dict[str, t.Any]:
+        """Deterministic summary for exports/tests."""
+        return {
+            "enabled": self.enabled,
+            "throttles_applied": self.throttles_applied,
+            "throttles_released": self.throttles_released,
+            "clamped": sorted(t for t, c in self.clients.items()
+                              if c.qos_window is not None),
+        }

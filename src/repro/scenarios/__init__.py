@@ -7,6 +7,7 @@ from .builders import (FIG10_SCENARIOS, MultiHostScenario, Scenario,
 from .chaos import CHAOS_RELIABILITY, ChaosScenario, chaos_cluster
 from .cluster import (ClusterScenario, cluster, cluster_scale_out,
                       widen_sharing)
+from .qos import QOS_MEDIA, QOS_POLICIES, noisy_neighbor
 from .testbed import LocalTestbed, PcieTestbed, RdmaTestbed
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "ours_local", "ours_remote", "multihost", "scale_out_cluster",
     "ChaosScenario", "chaos_cluster", "CHAOS_RELIABILITY",
     "ClusterScenario", "cluster", "cluster_scale_out", "widen_sharing",
+    "QOS_MEDIA", "QOS_POLICIES", "noisy_neighbor",
 ]

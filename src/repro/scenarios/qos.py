@@ -1,0 +1,92 @@
+"""Noisy-neighbour QoS scenario: N tenants on ONE shared queue pair.
+
+The QoS arbitration point (docs/qos.md) sits where the controller picks
+which tenant window to fetch the next SQE from.  That point only
+*matters* when it is the saturated stage: with the default Optane-class
+media (~6.9 us, 5 channels ~ 0.72 IO/us) the media drains slower than
+the serialized fetch loop (~1 IO/us), so backlog pools inside the
+device where no fetch policy can reorder it.  :data:`QOS_MEDIA` models
+a faster low-latency device (~1.2 us, 8 channels ~ 6.7 IO/us) so the
+shared-SQ fetch loop is the bottleneck — the regime where arbitration
+decides who waits.
+
+:func:`noisy_neighbor` packs one aggressor plus ``n_bystanders``
+bystanders into a single shared QP (``reserved_qps=1``,
+``sharing="force"``), window index = admission order = tenant index, so
+``qos.weights`` line up with the client list.
+"""
+
+from __future__ import annotations
+
+from ..config import (MediaConfig, QosConfig, SimulationConfig, replace)
+from .builders import MultiHostScenario, multihost
+
+#: Fast NVMe media (Z-NAND/XL-FLASH class) for QoS runs — see module
+#: docstring for why the fetch loop must out-slow the media here.
+QOS_MEDIA = MediaConfig(
+    name="lowlat-znand",
+    read_median_ns=1_200,
+    write_median_ns=1_500,
+    sigma=0.02,
+    read_cap_ns=1_500,
+    write_cap_ns=1_900,
+    channels=8,
+)
+
+#: Arbitration policies :func:`noisy_neighbor` accepts; ``off`` keeps
+#: the original round-robin fetch loop (bit-identical to the seed).
+QOS_POLICIES = ("off", "fifo", "wfq", "strict")
+
+
+def noisy_neighbor(n_bystanders: int = 3,
+                   policy: str = "wfq",
+                   quantum: int = 4,
+                   weights: tuple[int, ...] = (),
+                   throttle_window: int = 0,
+                   config: SimulationConfig | None = None,
+                   seed: int | None = None,
+                   queue_depth: int = 63,
+                   window_entries: int = 64,
+                   telemetry: bool = True,
+                   sanitizer: bool = False) -> MultiHostScenario:
+    """One aggressor + ``n_bystanders`` bystanders on one shared QP.
+
+    Client 0 (tenant ``host1``) is the designated aggressor — the
+    builder only shapes the queue topology; the caller decides what
+    load each tenant offers (see :func:`repro.qos.run_qos`).
+
+    ``policy="off"`` leaves :class:`QosConfig` disabled so the run is
+    bit-identical to a seed-configured cluster; any other value enables
+    fetch arbitration with the given knobs.  ``throttle_window`` is
+    recorded in the config for :class:`repro.qos.AdmissionThrottle`;
+    the builder itself does not start the throttle process.
+    """
+    if policy not in QOS_POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; "
+                         f"pick one of {QOS_POLICIES}")
+    n_tenants = 1 + n_bystanders
+    if n_tenants < 2:
+        raise ValueError("need at least one bystander")
+    if n_tenants > 16:
+        raise ValueError("a shared QP holds at most 16 tenants")
+    cfg = config or SimulationConfig()
+    sq_entries = window_entries * n_tenants
+    if sq_entries > cfg.nvme.max_queue_entries:
+        raise ValueError(
+            f"{n_tenants} windows x {window_entries} entries exceed "
+            f"the device's {cfg.nvme.max_queue_entries}-entry queues")
+    sharing = replace(cfg.sharing, enabled=True, reserved_qps=1,
+                      sq_entries=sq_entries,
+                      window_entries=window_entries)
+    qos = QosConfig(
+        enabled=policy != "off",
+        policy=policy if policy != "off" else "fifo",
+        quantum=quantum,
+        weights=weights,
+        throttle_window=throttle_window,
+    )
+    cfg = replace(cfg, sharing=sharing, qos=qos,
+                  nvme=replace(cfg.nvme, media=QOS_MEDIA))
+    return multihost(n_tenants, config=cfg, seed=seed,
+                     queue_depth=queue_depth, sharing="force",
+                     telemetry=telemetry, sanitizer=sanitizer)

@@ -122,6 +122,10 @@ class PcieTestbed:
             self.cluster.connect(host.rc, node, bandwidth=3.2)
             ctrl = NvmeController(self.sim, name, self.config.nvme,
                                   media=media, tracer=self.tracer)
+            if self.config.qos.enabled:
+                # QoS fetch arbitration (docs/qos.md): shared SQs the
+                # manager creates on this controller get an arbiter.
+                ctrl.qos = self.config.qos
             ctrl.install(host, node, self.fabric)
             device_id = self.smartio.register_device(ctrl)
         boundary = self.fabric.boundary

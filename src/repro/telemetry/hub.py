@@ -313,6 +313,17 @@ class Telemetry:
                         depth, help="submission-queue backlog "
                         "(doorbell tail - fetch head)",
                         ctrl=name, qid=qid)
+            arb = sq.arbiter
+            if arb is not None:
+                # QoS fetch arbitration (docs/qos.md): per-window grant
+                # counts.  Only qos-enabled runs carry an arbiter, so
+                # qos-off exports stay byte-identical.
+                for widx, grants in enumerate(arb.grant_counts):
+                    m.counter_set(
+                        "repro_qos_grants_total", grants,
+                        help="shared-SQ fetch grants per tenant window",
+                        ctrl=name, qid=qid, window=widx,
+                        policy=arb.policy)
         for qid in sorted(ctrl.cqs):
             cq = ctrl.cqs[qid]
             depth = (cq.state.tail - cq.db_head) % cq.state.entries
@@ -354,6 +365,21 @@ class Telemetry:
                       client=name)
         m.gauge_set("repro_client_inflight", len(client._inflight),
                     help="commands awaiting completion", client=name)
+        if client.qos_window is not None or client.throttled_ios:
+            # Admission throttle (docs/qos.md); series appear only once
+            # a clamp was ever applied, keeping qos-off exports
+            # byte-identical.
+            m.counter_set("repro_client_throttled_total",
+                          client.throttled_ios,
+                          help="submissions parked by the admission "
+                          "throttle", client=name,
+                          tenant=client.tenant)
+            m.gauge_set("repro_client_qos_window",
+                        client.qos_window if client.qos_window is not None
+                        else 0,
+                        help="current outstanding-command clamp "
+                        "(0 = unthrottled)", client=name,
+                        tenant=client.tenant)
 
     def _collect_manager(self, mgr: t.Any) -> None:
         m = self.metrics

@@ -17,7 +17,7 @@ import typing as t
 import numpy as np
 
 from ..driver.blockdev import BlockDevice, BlockRequest
-from ..sim import Event, LatencyRecorder
+from ..sim import Event, LatencyRecorder, Signal
 
 #: the only ops a portable trace may carry
 TRACE_OPS = ("read", "write")
@@ -62,8 +62,30 @@ class BlockTrace:
 
     def append(self, entry: TraceEntry) -> None:
         if self.entries and entry.arrival_ns < self.entries[-1].arrival_ns:
-            raise ValueError("trace entries must be time-ordered")
+            raise TraceError(
+                f"record {len(self.entries) + 1}: arrival_ns "
+                f"{entry.arrival_ns} earlier than predecessor "
+                f"{self.entries[-1].arrival_ns} — trace entries must "
+                f"be time-ordered")
         self.entries.append(entry)
+
+    def validate_order(self) -> "BlockTrace":
+        """Check monotone arrivals, naming the offending record.
+
+        ``append`` enforces ordering incrementally, but a trace built
+        by passing a list straight to the constructor bypasses it; the
+        replayer calls this so such a trace fails loudly instead of
+        being silently replayed out of order.
+        """
+        prev = None
+        for i, entry in enumerate(self.entries, start=1):
+            if prev is not None and entry.arrival_ns < prev:
+                raise TraceError(
+                    f"record {i}: arrival_ns {entry.arrival_ns} earlier "
+                    f"than predecessor {prev} — trace entries must be "
+                    f"time-ordered")
+            prev = entry.arrival_ns
+        return self
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -189,24 +211,64 @@ class ReplayResult:
 
 
 def replay_trace(device: BlockDevice, trace: BlockTrace,
-                 payload_byte: int = 0x5A) -> ReplayResult:
+                 payload_byte: int = 0x5A, *,
+                 speedup: float = 1.0,
+                 inflight_cap: int | None = None,
+                 open_loop: bool = False) -> ReplayResult:
     """Replay a trace open-loop against a device.
 
-    Arrivals are scheduled at their recorded times; an I/O whose
-    predecessor backlog pushes it past its arrival time is issued late
-    and the lateness reported (``max_backlog_ns``).
+    Arrivals are scheduled at their recorded times (divided by
+    ``speedup`` — 2.0 offers the same stream twice as fast); an I/O
+    whose predecessor backlog pushes it past its arrival time is issued
+    late and the lateness reported (``max_backlog_ns``).
+
+    ``inflight_cap`` bounds outstanding requests the way a real
+    driver's queue resources would: an arrival past the cap waits for a
+    completion.  With ``open_loop=True`` latency is measured from the
+    *scheduled* arrival instead of the actual submission, so software
+    backlog (cap waits, late issues) shows up in the distribution
+    rather than hiding in a stalled issuer.
+
+    The trace's arrival order is validated up front: non-monotonic
+    timestamps raise a record-numbered :class:`TraceError` instead of
+    being silently replayed out of order.
     """
+    if speedup <= 0:
+        raise ValueError("speedup must be positive")
+    if inflight_cap is not None and inflight_cap < 1:
+        raise ValueError("inflight_cap must be >= 1")
+    trace.validate_order()
     sim = device.sim
     result = ReplayResult(0, 0, 0, 0, LatencyRecorder("replay"))
-    done_events: list[Event] = []
     start = sim.now
+    state = {"inflight": 0}
+    free = Signal(sim)
+    record_open = open_loop or inflight_cap is not None
+
+    def completer(sim, done: Event, scheduled_at: int) -> t.Generator:
+        request = yield done
+        state["inflight"] -= 1
+        free.fire()
+        result.completed += 1
+        if request.ok:
+            result.latencies.record(sim.now - scheduled_at if open_loop
+                                    else request.latency_ns)
+        else:
+            result.errors += 1
 
     def issuer(sim) -> t.Generator:
+        done_events: list[Event] = []
         for entry in trace.entries:
-            target = start + entry.arrival_ns
+            offset = (entry.arrival_ns if speedup == 1.0
+                      else int(entry.arrival_ns / speedup))
+            target = start + offset
             if sim.now < target:
                 yield sim.timeout(target - sim.now)
-            else:
+            if (inflight_cap is not None
+                    and state["inflight"] >= inflight_cap):
+                while state["inflight"] >= inflight_cap:
+                    yield free.wait()
+            if sim.now > target:
                 result.max_backlog_ns = max(result.max_backlog_ns,
                                             sim.now - target)
             if entry.op == "write":
@@ -218,19 +280,28 @@ def replay_trace(device: BlockDevice, trace: BlockTrace,
                 request = BlockRequest("read", lba=entry.lba,
                                        nblocks=entry.nblocks)
             result.issued += 1
-            done_events.append(device.submit(request))
-
-    def finisher(sim) -> t.Generator:
-        yield sim.process(issuer(sim))
-        if done_events:
-            outcome = yield sim.all_of(done_events)
-            for request in outcome.values():
-                result.completed += 1
-                if request.ok:
-                    result.latencies.record(request.latency_ns)
-                else:
-                    result.errors += 1
+            state["inflight"] += 1
+            done = device.submit(request)
+            if record_open:
+                done_events.append(sim.process(
+                    completer(sim, done, target)))
+            else:
+                done_events.append(done)
+        if not record_open:
+            # Historical path: record device latencies in issue order
+            # once everything lands (byte-identical to the original
+            # replayer for default arguments).
+            if done_events:
+                outcome = yield sim.all_of(done_events)
+                for request in outcome.values():
+                    result.completed += 1
+                    if request.ok:
+                        result.latencies.record(request.latency_ns)
+                    else:
+                        result.errors += 1
+        elif done_events:
+            yield sim.all_of(done_events)
         result.elapsed_ns = sim.now - start
 
-    sim.run(until=sim.process(finisher(sim)))
+    sim.run(until=sim.process(issuer(sim)))
     return result

@@ -4,6 +4,7 @@ process state.  Guards the reproducibility claim in EXPERIMENTS.md."""
 
 import numpy as np
 
+from repro.config import DEFAULT_CONFIG, QosConfig, replace
 from repro.faults import FaultEvent, FaultPlan
 from repro.scenarios import (chaos_cluster, cluster, multihost,
                              nvmeof_remote, ours_remote,
@@ -80,6 +81,52 @@ class TestSharedQpDeterminism:
         baseline = self._run()
         monkeypatch.setenv("REPRO_NO_ROUTE_CACHE", "1")
         assert self._run() == baseline
+
+
+class TestQosDeterminism:
+    """QoS is opt-in: a disabled ``QosConfig`` — whatever its other
+    fields say — must leave every exported byte of a shared-QP run
+    untouched, and an *enabled* run must itself be a pure function of
+    the seed."""
+
+    def _digest(self, config=None, seed=606):
+        scn = multihost(4, config=config, seed=seed, queue_depth=4,
+                        sharing="force", telemetry=True)
+        jobs = [(c, FioJob(name=f"j{i}", rw="randrw", iodepth=4,
+                           total_ios=15, seed_stream=f"fio{i}"))
+                for i, c in enumerate(scn.clients)]
+        results = run_fio_many(jobs)
+        assert all(r.ios == 15 and r.errors == 0 for r in results)
+        tele = scn.telemetry
+        assert tele is not None
+        series = [r.read_latencies.values().tolist() for r in results]
+        return (tele.prometheus_text(), tele.perfetto_json()), series
+
+    def test_disabled_qos_config_is_inert(self):
+        """enabled=False with aggressive-looking knobs == the default
+        config, byte for byte — no arbiter, no extra metrics."""
+        loud = replace(DEFAULT_CONFIG, qos=QosConfig(
+            enabled=False, policy="wfq", quantum=9, weights=(3, 1),
+            throttle_window=5))
+        baseline_bytes, baseline_series = self._digest()
+        loud_bytes, loud_series = self._digest(config=loud)
+        assert loud_bytes == baseline_bytes
+        assert loud_series == baseline_series
+        assert "repro_qos_grants_total" not in baseline_bytes[0]
+
+    def test_enabled_qos_run_is_seed_deterministic(self):
+        from repro.qos import run_qos
+
+        def digest(seed):
+            run = run_qos("wfq", throttle=True, seed=seed,
+                          horizon_ns=2_000_000)
+            return (run.prometheus_text(), run.timeseries_jsonl(),
+                    run.slo_report_json(), run.perfetto_json())
+
+        first = digest(31)
+        assert first == digest(31)
+        assert "repro_qos_grants_total" in first[0]
+        assert digest(32) != first
 
 
 class TestClusterDeterminism:

@@ -1,0 +1,258 @@
+"""Property-based invariants of the shared-SQ fetch arbiters.
+
+The arbiters (docs/qos.md) are pure index bookkeeping over the shared
+ring's tenant windows, so they can be driven directly with fake windows
+and arbitrary hypothesis-generated backlogs — no simulator needed.  The
+invariants:
+
+* **work conservation** — whenever any window is backlogged, ``select``
+  grants (never returns None) and never picks an empty window;
+* **weight-proportional shares** — under sustained all-window backlog,
+  DRR serves window ``i`` in proportion to its weight, within one
+  quantum's tolerance (the classic DRR fairness bound);
+* **bounded neighbour delay** — between two consecutive grants to any
+  backlogged window, DRR grants each neighbour at most one quantum's
+  worth of service;
+* **fifo = global arrival order** — the fifo arbiter replays doorbell
+  stamps in non-decreasing order (window index breaks ties);
+* **strict priority** — the strict arbiter never serves a backlogged
+  tier while a higher tier is backlogged.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import QosConfig
+from repro.qos import (DrrArbiter, FifoArbiter, StrictArbiter,
+                       make_arbiter)
+
+MAX_WIN = 6
+
+
+class FakeWindow:
+    """Just enough of SqWindowState for an arbiter: index + emptiness."""
+
+    def __init__(self, index, backlog=0):
+        self.index = index
+        self.backlog = backlog
+
+    def is_empty(self):
+        return self.backlog == 0
+
+
+def make_windows(backlogs):
+    return [FakeWindow(i, b) for i, b in enumerate(backlogs)]
+
+
+def drain_one(arb, windows):
+    """One grant cycle; returns the served window (asserting sanity)."""
+    win = arb.select(windows)
+    if win is None:
+        assert all(w.is_empty() for w in windows), \
+            "select returned None with backlogged windows"
+        return None
+    assert not win.is_empty(), "granted a fetch from an empty window"
+    win.backlog -= 1
+    arb.on_fetch(win)
+    return win
+
+
+backlogs_st = st.lists(st.integers(min_value=0, max_value=40),
+                       min_size=2, max_size=MAX_WIN)
+weights_st = st.lists(st.integers(min_value=1, max_value=8),
+                      min_size=MAX_WIN, max_size=MAX_WIN)
+quantum_st = st.integers(min_value=1, max_value=8)
+
+
+class TestWorkConservation:
+    @given(backlogs=backlogs_st, quantum=quantum_st,
+           weights=weights_st)
+    @settings(max_examples=200, deadline=None)
+    def test_drr_drains_any_backlog(self, backlogs, quantum, weights):
+        windows = make_windows(backlogs)
+        arb = DrrArbiter(len(windows), quantum,
+                         tuple(weights[:len(windows)]))
+        grants = 0
+        while any(not w.is_empty() for w in windows):
+            assert drain_one(arb, windows) is not None
+            grants += 1
+            assert grants <= sum(backlogs), "arbiter looped past drain"
+        assert grants == sum(backlogs)
+        assert arb.select(windows) is None
+        assert arb.grant_counts == [b for b in backlogs]
+
+    @given(backlogs=backlogs_st, quantum=quantum_st,
+           weights=weights_st)
+    @settings(max_examples=100, deadline=None)
+    def test_every_policy_never_grants_empty(self, backlogs, quantum,
+                                             weights):
+        for policy in ("fifo", "wfq", "strict"):
+            qos = QosConfig(enabled=True, policy=policy, quantum=quantum,
+                            weights=tuple(weights))
+            windows = make_windows(list(backlogs))
+            arb = make_arbiter(qos, len(windows))
+            for t_ns, win in enumerate(windows):
+                if win.backlog:
+                    arb.on_doorbell(win, win.backlog, t_ns)
+            while any(not w.is_empty() for w in windows):
+                assert drain_one(arb, windows) is not None
+            assert arb.select(windows) is None
+
+    @given(events=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=MAX_WIN - 1),
+                  st.integers(min_value=1, max_value=8),
+                  st.booleans()),
+        min_size=1, max_size=80))
+    @settings(max_examples=100, deadline=None)
+    def test_drr_interleaved_arrivals_and_grants(self, events):
+        """Arbitrary doorbell/grant interleavings: the arbiter always
+        serves a backlogged window and drains everything rung."""
+        windows = make_windows([0] * MAX_WIN)
+        arb = DrrArbiter(MAX_WIN, 4, ())
+        rung = 0
+        for t_ns, (idx, added, grant_now) in enumerate(events):
+            windows[idx].backlog += added
+            arb.on_doorbell(windows[idx], added, t_ns)
+            rung += added
+            if grant_now:
+                assert drain_one(arb, windows) is not None
+        drained = sum(arb.grant_counts)
+        while any(not w.is_empty() for w in windows):
+            assert drain_one(arb, windows) is not None
+            drained += 1
+        assert drained == rung
+
+
+class TestFairness:
+    @given(weights=weights_st, quantum=quantum_st,
+           rounds=st.integers(min_value=3, max_value=20))
+    @settings(max_examples=100, deadline=None)
+    def test_drr_shares_are_weight_proportional(self, weights, quantum,
+                                                rounds):
+        """Under sustained backlog every window's per-weight service
+        stays within one quantum of every other's."""
+        nwin = MAX_WIN
+        windows = make_windows([10 ** 9] * nwin)
+        arb = DrrArbiter(nwin, quantum, tuple(weights))
+        total = rounds * quantum * sum(weights)
+        for _ in range(total):
+            drain_one(arb, windows)
+        per_weight = [arb.grant_counts[i] / weights[i]
+                      for i in range(nwin)]
+        spread = max(per_weight) - min(per_weight)
+        assert spread <= quantum, (
+            f"service spread {spread} exceeds one quantum ({quantum}): "
+            f"{arb.grant_counts} vs weights {weights}")
+
+    @given(weights=weights_st, quantum=quantum_st)
+    @settings(max_examples=100, deadline=None)
+    def test_drr_neighbour_delay_bounded_by_quantum(self, weights,
+                                                    quantum):
+        """Between two grants to window 0, any single neighbour gets at
+        most quantum * weight grants — a burst cannot park the pointer."""
+        nwin = 4
+        windows = make_windows([10 ** 9] * nwin)
+        arb = DrrArbiter(nwin, quantum, tuple(weights[:nwin]))
+        since: list[int] = [0] * nwin
+        for _ in range(quantum * sum(weights[:nwin]) * 10):
+            win = drain_one(arb, windows)
+            if win.index == 0:
+                since = [0] * nwin
+            else:
+                since[win.index] += 1
+                assert since[win.index] <= \
+                    quantum * max(1, weights[win.index]), (
+                        f"window {win.index} got {since[win.index]} "
+                        f"consecutive grants while 0 was backlogged")
+
+    def test_drr_refund_restores_credit(self):
+        windows = make_windows([5, 5])
+        arb = DrrArbiter(2, 1, ())
+        first = arb.select(windows)
+        assert first is not None
+        arb.refund(first)
+        # The retried fetch must be able to serve the same window
+        # immediately — the lost grant's credit came back.
+        again = arb.select(windows)
+        assert again is first
+
+    def test_idle_window_banks_no_credit(self):
+        """A window that idles through many rotations restarts with a
+        fresh quantum, not accumulated credit (classic DRR rule)."""
+        windows = make_windows([10 ** 6, 0])
+        arb = DrrArbiter(2, 2, ())
+        for _ in range(50):
+            assert drain_one(arb, windows).index == 0
+        windows[1].backlog = 10 ** 6
+        burst = 0
+        while drain_one(arb, windows).index == 1:
+            burst += 1
+        assert burst <= 2 * arb.quantum
+
+
+class TestFifoOrder:
+    @given(events=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3),
+                  st.integers(min_value=1, max_value=4)),
+        min_size=1, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_serves_in_global_arrival_order(self, events):
+        windows = make_windows([0] * 4)
+        arb = FifoArbiter(4)
+        expected = []
+        for t_ns, (idx, added) in enumerate(events):
+            windows[idx].backlog += added
+            arb.on_doorbell(windows[idx], added, t_ns)
+            expected.extend([(t_ns, idx)] * added)
+        expected.sort()   # arrival stamp, window index breaking ties
+        served = []
+        while any(not w.is_empty() for w in windows):
+            win = drain_one(arb, windows)
+            served.append(win.index)
+        assert served == [idx for _, idx in expected]
+
+
+class TestStrictPriority:
+    @given(backlogs=st.lists(st.integers(min_value=0, max_value=20),
+                             min_size=3, max_size=3),
+           weights=st.lists(st.integers(min_value=1, max_value=4),
+                            min_size=3, max_size=3))
+    @settings(max_examples=100, deadline=None)
+    def test_higher_tier_always_first(self, backlogs, weights):
+        windows = make_windows(list(backlogs))
+        arb = StrictArbiter(3, tuple(weights), 1)
+        while any(not w.is_empty() for w in windows):
+            win = drain_one(arb, windows)
+            top = max(weights[w.index] for w in windows
+                      if not w.is_empty() or w is win)
+            assert weights[win.index] == top, (
+                f"served tier {weights[win.index]} while tier {top} "
+                f"was backlogged")
+
+
+class TestFactory:
+    def test_policies_map_to_classes(self):
+        assert isinstance(
+            make_arbiter(QosConfig(enabled=True, policy="fifo"), 4),
+            FifoArbiter)
+        assert isinstance(
+            make_arbiter(QosConfig(enabled=True, policy="wfq"), 4),
+            DrrArbiter)
+        assert isinstance(
+            make_arbiter(QosConfig(enabled=True, policy="strict"), 4),
+            StrictArbiter)
+
+    def test_bad_policy_rejected_by_config(self):
+        with pytest.raises(ValueError):
+            QosConfig(policy="edf")
+        with pytest.raises(ValueError):
+            QosConfig(quantum=0)
+        with pytest.raises(ValueError):
+            QosConfig(throttle_window=-1)
+
+    def test_weight_lookup_falls_back_to_default(self):
+        qos = QosConfig(weights=(3, 2), default_weight=5)
+        assert qos.weight(0) == 3
+        assert qos.weight(1) == 2
+        assert qos.weight(2) == 5

@@ -182,3 +182,74 @@ class TestReplay:
         assert crushed.latencies.summary().median > \
             2 * relaxed.latencies.summary().median
         assert crushed.elapsed_ns < relaxed.elapsed_ns
+
+
+class TestRateScaledReplay:
+    """``speedup`` / ``inflight_cap`` / ``open_loop`` replay modes."""
+
+    def _record(self, seed=420, ios=60):
+        scenario = local_linux(seed=seed)
+        recorder = RecordingDevice(scenario.device)
+        run_fio(recorder, FioJob(rw="randread", total_ios=ios,
+                                 region_lbas=1 << 20))
+        return recorder.trace
+
+    def test_speedup_matches_prescaled_trace(self):
+        """``speedup=2`` is exactly ``trace.scaled(0.5)`` (halving is
+        float-exact, so the two schedules are identical)."""
+        trace = self._record()
+        a = replay_trace(ours_remote(seed=421).device, trace, speedup=2.0)
+        b = replay_trace(ours_remote(seed=421).device, trace.scaled(0.5))
+        assert a.latencies.values().tolist() == \
+            b.latencies.values().tolist()
+        assert a.elapsed_ns == b.elapsed_ns
+
+    def test_speedup_compresses_offered_load(self):
+        trace = self._record(ios=80)
+        base = replay_trace(ours_remote(seed=422).device, trace)
+        fast = replay_trace(ours_remote(seed=423).device, trace,
+                            speedup=50.0)
+        assert fast.elapsed_ns < base.elapsed_ns
+        assert fast.completed == base.completed == 80
+        with pytest.raises(ValueError):
+            replay_trace(ours_remote(seed=424).device, trace, speedup=0)
+
+    def test_inflight_cap_bounds_outstanding(self):
+        """A cap of 1 serializes the compressed stream: every request
+        waits for its predecessor, so the run takes longer than the
+        uncapped replay of the same schedule."""
+        trace = self._record(ios=40)
+        uncapped = replay_trace(ours_remote(seed=425).device,
+                                trace.scaled(0.001))
+        capped = replay_trace(ours_remote(seed=426).device,
+                              trace.scaled(0.001), inflight_cap=1)
+        assert capped.completed == uncapped.completed == 40
+        assert capped.elapsed_ns > uncapped.elapsed_ns
+        with pytest.raises(ValueError):
+            replay_trace(ours_remote(seed=427).device, trace,
+                         inflight_cap=0)
+
+    def test_open_loop_latency_charges_backlog(self):
+        """With ``open_loop=True`` latency runs from the *scheduled*
+        arrival, so cap-induced software backlog inflates the recorded
+        distribution instead of hiding in a stalled issuer."""
+        trace = self._record(ios=40)
+        service = replay_trace(ours_remote(seed=428).device,
+                               trace.scaled(0.001), inflight_cap=1)
+        open_lp = replay_trace(ours_remote(seed=428).device,
+                               trace.scaled(0.001), inflight_cap=1,
+                               open_loop=True)
+        assert open_lp.max_backlog_ns > 0
+        assert open_lp.latencies.summary().median > \
+            service.latencies.summary().median
+
+    def test_constructor_bypass_rejected_at_replay(self):
+        """A trace built by handing an out-of-order list straight to
+        the constructor (bypassing ``append``) fails loudly at replay
+        with the record number, not silently reordered."""
+        trace = BlockTrace([TraceEntry(100, "read", 0, 8),
+                            TraceEntry(50, "read", 8, 8)])
+        with pytest.raises(TraceError, match="record 2"):
+            replay_trace(local_linux(seed=429).device, trace)
+        with pytest.raises(TraceError, match="record 2"):
+            trace.validate_order()
